@@ -1,0 +1,167 @@
+// Command sigbench regenerates every table and figure of the paper's
+// evaluation (section 4) on the Go reproduction of the significance-aware
+// runtime.
+//
+// Usage:
+//
+//	sigbench table1
+//	sigbench fig1   [-out fig1.pgm] [-scale 0.25]
+//	sigbench fig2   [-bench Sobel,DCT] [-scale 0.25] [-workers 16] [-reps 3]
+//	sigbench fig3   [-out fig3.pgm] [-scale 0.25]
+//	sigbench fig4   [-scale 0.25] [-workers 16] [-reps 3]
+//	sigbench table2 [-scale 0.25] [-workers 16]
+//	sigbench ablate [-scale 0.25] [-workers 16]
+//	sigbench all    [-scale 0.25] [-workers 16]
+//
+// Scale 1.0 reproduces evaluation-size problems; smaller scales shrink the
+// workloads proportionally for quick runs.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/harness"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	cmd := os.Args[1]
+	fs := flag.NewFlagSet(cmd, flag.ExitOnError)
+	var (
+		scale   = fs.Float64("scale", 1.0, "problem scale in (0,1]; 1.0 = evaluation scale")
+		workers = fs.Int("workers", 0, "worker goroutines (0 = GOMAXPROCS)")
+		reps    = fs.Int("reps", 1, "repetitions to average over")
+		benches = fs.String("bench", "", "comma-separated benchmark subset (default all)")
+		out     = fs.String("out", "", "output PGM path for fig1/fig3")
+	)
+	if err := fs.Parse(os.Args[2:]); err != nil {
+		os.Exit(2)
+	}
+	opt := harness.Options{Scale: *scale, Workers: *workers, Repetitions: *reps}
+	if *benches != "" {
+		opt.Benches = strings.Split(*benches, ",")
+	}
+	var err error
+	switch cmd {
+	case "table1":
+		harness.Table1(os.Stdout)
+	case "fig1":
+		err = runFig1(*out, "fig1.pgm", *scale, *workers, harness.Fig1)
+	case "fig3":
+		err = runFig1(*out, "fig3.pgm", *scale, *workers, harness.Fig3)
+	case "fig2":
+		err = runFig2(opt)
+	case "fig4":
+		err = runFig4(opt)
+	case "table2":
+		err = runTable2(opt)
+	case "ablate":
+		err = runAblations(opt)
+	case "all":
+		harness.Table1(os.Stdout)
+		fmt.Println()
+		if err = runFig1("fig1.pgm", "fig1.pgm", *scale, *workers, harness.Fig1); err != nil {
+			break
+		}
+		if err = runFig1("fig3.pgm", "fig3.pgm", *scale, *workers, harness.Fig3); err != nil {
+			break
+		}
+		if err = runFig2(opt); err != nil {
+			break
+		}
+		fmt.Println()
+		if err = runFig4(opt); err != nil {
+			break
+		}
+		fmt.Println()
+		if err = runTable2(opt); err != nil {
+			break
+		}
+		fmt.Println()
+		err = runAblations(opt)
+	default:
+		usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "sigbench:", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, "usage: sigbench {table1|fig1|fig2|fig3|fig4|table2|ablate|all} [flags]")
+	fmt.Fprintln(os.Stderr, "run 'sigbench <cmd> -h' for per-command flags")
+}
+
+func runFig1(out, def string, scale float64, workers int,
+	f func(string, float64, int) (map[harness.Degree]float64, error)) error {
+	if out == "" {
+		out = def
+	}
+	psnrs, err := f(out, scale, workers)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s (quadrants: accurate / Mild / Medium / Aggressive)\n", out)
+	for _, d := range []harness.Degree{harness.Mild, harness.Medium, harness.Aggressive} {
+		fmt.Printf("  %-7s PSNR = %6.2f dB\n", d, psnrs[d])
+	}
+	return nil
+}
+
+func runFig2(opt harness.Options) error {
+	fmt.Println("Figure 2: execution time, energy and quality per benchmark/degree/policy.")
+	fmt.Println("Quality: 1/PSNR for Sobel and DCT, relative error (%) otherwise; lower is better.")
+	fmt.Println()
+	harness.FormatMeasurementHeader(os.Stdout)
+	return harness.Fig2(opt, func(m harness.Fig2Row) {
+		harness.PrintFig2Row(os.Stdout, m, "")
+	})
+}
+
+func runFig4(opt harness.Options) error {
+	rows, err := harness.Fig4(opt)
+	if err != nil {
+		return err
+	}
+	harness.PrintFig4(os.Stdout, rows)
+	return nil
+}
+
+func runTable2(opt harness.Options) error {
+	rows, err := harness.Table2(opt)
+	if err != nil {
+		return err
+	}
+	harness.PrintTable2(os.Stdout, rows)
+	return nil
+}
+
+func runAblations(opt harness.Options) error {
+	sweep, err := harness.GTBWindowSweep(opt, []int{4, 16, 64, 256, 0})
+	if err != nil {
+		return err
+	}
+	harness.PrintWindowSweep(os.Stdout, sweep)
+	fmt.Println()
+	oracle, err := harness.OracleComparison(opt)
+	if err != nil {
+		return err
+	}
+	harness.PrintOracleComparison(os.Stdout, oracle)
+	fmt.Println()
+	dvfs, err := harness.DVFSStudy(opt)
+	if err != nil {
+		return err
+	}
+	harness.PrintDVFSStudy(os.Stdout, dvfs)
+	fmt.Println()
+	return harness.NTCStudy(os.Stdout)
+}

@@ -1,0 +1,66 @@
+// Command sigcc is the source-to-source translator of the significance-aware
+// programming model: it lowers //sig:task and //sig:taskwait directive
+// comments in Go source files to calls of the sig runtime API, playing the
+// role of the paper's SCOOP-based #pragma compiler.
+//
+// Usage:
+//
+//	sigcc [-rt runtimeVar] [-o out.go] input.go
+//	sigcc [-rt runtimeVar] -w input.go ...
+//
+// With -w files are rewritten in place; with -o (single input) the result is
+// written to the given path; otherwise it goes to standard output.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/pragma"
+)
+
+func main() {
+	var (
+		rtVar   = flag.String("rt", "rt", "name of the in-scope *sig.Runtime variable")
+		out     = flag.String("o", "", "output file (default stdout; single input only)")
+		inPlace = flag.Bool("w", false, "rewrite files in place")
+	)
+	flag.Parse()
+	if flag.NArg() == 0 {
+		fmt.Fprintln(os.Stderr, "usage: sigcc [-rt var] [-o out.go | -w] input.go ...")
+		os.Exit(2)
+	}
+	if *out != "" && flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "sigcc: -o requires exactly one input file")
+		os.Exit(2)
+	}
+	opt := pragma.Options{Runtime: *rtVar}
+	for _, name := range flag.Args() {
+		src, err := os.ReadFile(name)
+		if err != nil {
+			fail(err)
+		}
+		res, err := pragma.TransformFile(name, src, opt)
+		if err != nil {
+			fail(err)
+		}
+		switch {
+		case *inPlace:
+			if err := os.WriteFile(name, res, 0o644); err != nil {
+				fail(err)
+			}
+		case *out != "":
+			if err := os.WriteFile(*out, res, 0o644); err != nil {
+				fail(err)
+			}
+		default:
+			os.Stdout.Write(res)
+		}
+	}
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "sigcc:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,62 @@
+// Kmeans example: exploring the quality/energy trade-off with one knob.
+//
+// The same clustering problem runs under a sweep of accuracy ratios — the
+// single parameter the programming model exposes for quality control — and
+// prints time, modeled energy, iterations and clustering-quality error for
+// each point of the trade-off space.
+//
+// Run with:
+//
+//	go run ./examples/kmeans [-n 32768] [-policy gtb|lqh]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"time"
+
+	"repro/internal/bench/kmeans"
+	"repro/sig"
+)
+
+func main() {
+	n := flag.Int("n", 32768, "number of observations")
+	policy := flag.String("policy", "gtb", "accuracy policy: gtb, gtbmax or lqh")
+	flag.Parse()
+
+	p := kmeans.DefaultParams()
+	p.N = *n
+	app := kmeans.New(p)
+
+	fmt.Println("computing accurate reference...")
+	ref := app.Sequential()
+	fmt.Printf("reference: %d iterations\n\n", ref.Iterations)
+
+	var kind sig.PolicyKind
+	switch *policy {
+	case "gtb":
+		kind = sig.PolicyGTB
+	case "gtbmax":
+		kind = sig.PolicyGTBMaxBuffer
+	case "lqh":
+		kind = sig.PolicyLQH
+	default:
+		log.Fatalf("unknown policy %q", *policy)
+	}
+
+	fmt.Printf("%-8s %10s %12s %8s %14s\n", "ratio", "time", "energy", "iters", "inertia err %")
+	for _, ratio := range []float64{1.0, 0.8, 0.6, 0.4, 0.2} {
+		rt, err := sig.New(sig.Config{Policy: kind})
+		if err != nil {
+			log.Fatal(err)
+		}
+		start := time.Now()
+		res := app.Run(rt, ratio)
+		wall := time.Since(start)
+		rt.Close()
+		rep := rt.Energy()
+		fmt.Printf("%-8.2f %10v %11.2fJ %8d %14.5f\n",
+			ratio, wall.Round(time.Microsecond), rep.Joules, res.Iterations, app.Quality(ref, res))
+	}
+}
