@@ -23,7 +23,7 @@ const annotated = `package main
 // sobel filters img into res, one task per output row.
 func sobel(rt *sig.Runtime, img, res []byte, height int) {
 	for i := 1; i < height-1; i++ {
-		//sig:task label(sobel) in(img) out(res) significant((i%9 + 1) / 10.0) approxfun(sblTaskAppr)
+		//sig:task label(sobel) in(img) out(res) significant(float64(i%9+1) / 10) approxfun(sblTaskAppr)
 		sblTask(res, img, i)
 	}
 	//sig:taskwait label(sobel) ratio(0.35)

@@ -70,5 +70,5 @@ func main() {
 			g.Name, g.Accurate, g.Approximate, 100*g.RequestedRatio, 100*g.ProvidedRatio)
 	}
 	rep := rt.Energy()
-	fmt.Printf("modeled energy: %.3f J over %v\n", rep.Joules, rep.Wall.Round(1000))
+	fmt.Printf("modeled energy: %.3f mJ over %v\n", 1000*rep.Joules, rep.Wall.Round(1000))
 }

@@ -1,0 +1,127 @@
+// Package sobel is the paper's running example (Listing 1): Sobel edge
+// detection with one task per output row. The approximate task body replaces
+// the 3×3 convolution with a two-point horizontal gradient, and dropped rows
+// stay black — which is what makes the Figure 1/3 mosaics legible.
+package sobel
+
+import (
+	"math"
+
+	"repro/internal/imaging"
+	"repro/sig"
+)
+
+// Params sizes the problem.
+type Params struct {
+	W, H int
+	Seed int64
+}
+
+// DefaultParams matches the evaluation-scale input (a 2048² frame).
+func DefaultParams() Params { return Params{W: 2048, H: 2048, Seed: 1} }
+
+// App is a Sobel instance over a fixed synthetic input image.
+type App struct {
+	p   Params
+	src *imaging.Image
+}
+
+// New builds the instance and renders its input image.
+func New(p Params) *App {
+	if p.W < 8 {
+		p.W = 8
+	}
+	if p.H < 8 {
+		p.H = 8
+	}
+	return &App{p: p, src: imaging.Synthetic(p.W, p.H, p.Seed)}
+}
+
+// Input exposes the source image (for mosaics).
+func (a *App) Input() *imaging.Image { return a.src.Clone() }
+
+// Tasks returns the number of tasks one Run submits.
+func (a *App) Tasks() int { return a.p.H - 2 }
+
+// Sequential computes the fully accurate reference without the runtime.
+func (a *App) Sequential() *imaging.Image {
+	out := imaging.NewImage(a.p.W, a.p.H)
+	for y := 1; y < a.p.H-1; y++ {
+		a.accurateRow(out, y)
+	}
+	return out
+}
+
+// Run executes the filter on rt, one task per row, asking for the given
+// accurate ratio. Row significance cycles through nine levels exactly as
+// Listing 1's significant((i%9+1)/10) clause.
+func (a *App) Run(rt *sig.Runtime, ratio float64) *imaging.Image {
+	out := imaging.NewImage(a.p.W, a.p.H)
+	grp := rt.Group("sobel", ratio)
+	for y := 1; y < a.p.H-1; y++ {
+		y := y
+		rt.Submit(
+			func() { a.accurateRow(out, y) },
+			sig.WithLabel(grp),
+			sig.WithSignificance(float64(y%9+1)/10),
+			sig.WithApprox(func() { a.approxRow(out, y) }),
+			// ~30 ops/pixel for the 3×3 convolution vs ~4 for the
+			// 2-point gradient.
+			sig.WithCost(30*float64(a.p.W), 4*float64(a.p.W)),
+			sig.In(sig.SliceRange(a.src.Pix, (y-1)*a.p.W, (y+2)*a.p.W)),
+			sig.Out(sig.SliceRange(out.Pix, y*a.p.W, (y+1)*a.p.W)),
+		)
+	}
+	rt.Wait(grp)
+	return out
+}
+
+// accurateRow applies the full 3×3 Sobel operator to row y.
+func (a *App) accurateRow(out *imaging.Image, y int) {
+	w := a.p.W
+	src := a.src.Pix
+	dst := out.Row(y)
+	for x := 1; x < w-1; x++ {
+		up, mid, down := (y-1)*w+x, y*w+x, (y+1)*w+x
+		gx := -int(src[up-1]) + int(src[up+1]) -
+			2*int(src[mid-1]) + 2*int(src[mid+1]) -
+			int(src[down-1]) + int(src[down+1])
+		gy := -int(src[up-1]) - 2*int(src[up]) - int(src[up+1]) +
+			int(src[down-1]) + 2*int(src[down]) + int(src[down+1])
+		m := math.Sqrt(float64(gx*gx + gy*gy))
+		if m > 255 {
+			m = 255
+		}
+		dst[x] = uint8(m)
+	}
+}
+
+// approxRow is the cheap degraded body: a two-point horizontal gradient.
+func (a *App) approxRow(out *imaging.Image, y int) {
+	w := a.p.W
+	src := a.src.Pix
+	dst := out.Row(y)
+	for x := 1; x < w-1; x++ {
+		d := int(src[y*w+x+1]) - int(src[y*w+x-1])
+		if d < 0 {
+			d = -d
+		}
+		d *= 2
+		if d > 255 {
+			d = 255
+		}
+		dst[x] = uint8(d)
+	}
+}
+
+// PSNR returns the PSNR of res against the reference in dB.
+func (a *App) PSNR(ref, res *imaging.Image) float64 { return imaging.PSNR(ref, res) }
+
+// Quality is the paper's "lower is better" metric for Sobel: 1/PSNR.
+func (a *App) Quality(ref, res *imaging.Image) float64 {
+	p := imaging.PSNR(ref, res)
+	if math.IsInf(p, 1) {
+		return 0
+	}
+	return 1 / p
+}

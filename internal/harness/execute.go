@@ -1,0 +1,131 @@
+package harness
+
+import (
+	"time"
+
+	"repro/sig"
+)
+
+// RunOptions configures a single Execute call.
+type RunOptions struct {
+	// Workers for the runtime (0 = GOMAXPROCS).
+	Workers int
+	// GTBWindow overrides the GTB buffer window (0 = runtime default).
+	GTBWindow int
+	// RecordDecisions collects the per-task decision log into the
+	// Measurement (needed by the Table 2 analysis).
+	RecordDecisions bool
+}
+
+// Measurement is the outcome of executing one (benchmark, mode, degree)
+// cell of the evaluation.
+type Measurement struct {
+	Bench  string
+	Mode   Mode
+	Degree Degree
+	// Applicable is false when the mode cannot express the benchmark's
+	// approximation pattern (perforation on Kmeans and Fluidanimate).
+	Applicable bool
+	// Wall is the measured execution time, Joules the modeled energy and
+	// Quality the benchmark's lower-is-better metric versus the
+	// reference output.
+	Wall    time.Duration
+	Joules  float64
+	Quality float64
+	// RequestedRatio is the ratio asked of the runtime; ProvidedRatio
+	// the accurate fraction it delivered.
+	RequestedRatio float64
+	ProvidedRatio  float64
+	// Report is the full modeled-energy report of the run.
+	Report sig.Report
+	// Decisions is the ordered decision log, populated only when
+	// RunOptions.RecordDecisions is set.
+	Decisions []sig.DecisionRecord
+}
+
+// Execute runs one cell of the evaluation: inst under the given mode and
+// degree, measured against the precomputed reference output ref.
+func Execute(spec Spec, inst Instance, ref any, mode Mode, degree Degree, opt RunOptions) (Measurement, error) {
+	m := Measurement{Bench: spec.Name, Mode: mode, Degree: degree, Applicable: true}
+	if mode == ModePerforation && !spec.Perforatable {
+		m.Applicable = false
+		return m, nil
+	}
+	kind, err := mode.PolicyKind()
+	if err != nil {
+		return m, err
+	}
+	ratio := 1.0
+	if mode != ModeAccurate {
+		ratio = spec.Ratios[degree]
+	}
+	rt, err := sig.New(sig.Config{
+		Workers:         opt.Workers,
+		Policy:          kind,
+		GTBWindow:       opt.GTBWindow,
+		RecordDecisions: opt.RecordDecisions,
+	})
+	if err != nil {
+		return m, err
+	}
+	start := time.Now()
+	out := inst.Run(rt, ratio)
+	m.Wall = time.Since(start)
+	if err := rt.Close(); err != nil {
+		return m, err
+	}
+	rep := rt.Energy()
+	st := rt.Stats()
+	m.Joules = rep.Joules
+	m.Report = rep
+	m.Quality = inst.Quality(ref, out)
+	m.RequestedRatio = ratio
+	decided := st.Accurate + st.Approximate + st.Dropped
+	if decided > 0 {
+		m.ProvidedRatio = float64(st.Accurate) / float64(decided)
+	}
+	if opt.RecordDecisions {
+		for _, g := range st.Groups {
+			m.Decisions = append(m.Decisions, g.Decisions...)
+		}
+	}
+	return m, nil
+}
+
+// executeAveraged repeats Execute reps times and averages the numeric
+// fields, including the energy report's busy/wall profile (so downstream
+// analytic studies rescale averaged measurements, not a single run);
+// remaining fields come from the first repetition.
+func executeAveraged(spec Spec, inst Instance, ref any, mode Mode, degree Degree, opt RunOptions, reps int) (Measurement, error) {
+	var acc Measurement
+	for i := 0; i < reps; i++ {
+		m, err := Execute(spec, inst, ref, mode, degree, opt)
+		if err != nil {
+			return m, err
+		}
+		if !m.Applicable {
+			return m, nil
+		}
+		if i == 0 {
+			acc = m
+			continue
+		}
+		acc.Wall += m.Wall
+		acc.Joules += m.Joules
+		acc.Quality += m.Quality
+		acc.ProvidedRatio += m.ProvidedRatio
+		acc.Report.Joules += m.Report.Joules
+		acc.Report.Wall += m.Report.Wall
+		acc.Report.Busy += m.Report.Busy
+	}
+	if reps > 1 {
+		acc.Wall /= time.Duration(reps)
+		acc.Joules /= float64(reps)
+		acc.Quality /= float64(reps)
+		acc.ProvidedRatio /= float64(reps)
+		acc.Report.Joules /= float64(reps)
+		acc.Report.Wall /= time.Duration(reps)
+		acc.Report.Busy /= time.Duration(reps)
+	}
+	return acc, nil
+}

@@ -1,0 +1,166 @@
+package harness
+
+import (
+	"os"
+	"time"
+
+	"repro/internal/bench/sobel"
+	"repro/internal/imaging"
+	"repro/sig"
+)
+
+// Fig1 regenerates the paper's Figure 1: the Sobel output as a quadrant
+// mosaic — accurate (top-left), Mild (top-right), Medium (bottom-left) and
+// Aggressive (bottom-right) under the GTB max-buffering policy — written as
+// a PGM to path. It returns the PSNR per degree.
+func Fig1(path string, scale float64, workers int) (map[Degree]float64, error) {
+	return sobelMosaic(path, scale, workers, sig.PolicyGTBMaxBuffer)
+}
+
+// Fig3 is the same mosaic under loop perforation (Figure 3): dropped rows
+// stay black, showing why significance-blind dropping degrades faster.
+func Fig3(path string, scale float64, workers int) (map[Degree]float64, error) {
+	return sobelMosaic(path, scale, workers, sig.PolicyPerforation)
+}
+
+func sobelMosaic(path string, scale float64, workers int, kind sig.PolicyKind) (map[Degree]float64, error) {
+	spec, _ := SpecByName("Sobel")
+	if scale <= 0 || scale > 1 {
+		scale = 1
+	}
+	p := sobel.DefaultParams()
+	p.W, p.H = scaled(p.W, scale, 64), scaled(p.H, scale, 64)
+	app := sobel.New(p)
+	ref := app.Sequential()
+	psnrs := make(map[Degree]float64, 3)
+	outs := make(map[Degree]*imaging.Image, 3)
+	for _, d := range Degrees() {
+		rt, err := sig.New(sig.Config{Workers: workers, Policy: kind})
+		if err != nil {
+			return nil, err
+		}
+		out := app.Run(rt, spec.Ratios[d])
+		if err := rt.Close(); err != nil {
+			return nil, err
+		}
+		psnrs[d] = app.PSNR(ref, out)
+		outs[d] = out
+	}
+	mosaic, err := imaging.Quadrants(ref, outs[Mild], outs[Medium], outs[Aggressive])
+	if err != nil {
+		return nil, err
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	if err := mosaic.WritePGM(f); err != nil {
+		return nil, err
+	}
+	return psnrs, f.Close()
+}
+
+// Fig2Row is one cell of Figure 2: a benchmark under one policy at one
+// degree.
+type Fig2Row = Measurement
+
+// Fig2 runs the quality/energy/time comparison of Figure 2 — every
+// benchmark of the subset under every policy at every degree — streaming
+// each measured row to emit as it completes.
+func Fig2(opt Options, emit func(Fig2Row)) error {
+	benches, err := subset(opt)
+	if err != nil {
+		return err
+	}
+	for _, spec := range benches {
+		inst := spec.Make(opt.scale())
+		ref := inst.Reference()
+		// The accurate baseline ignores the degree (Execute pins its
+		// ratio to 1.0), so run it once and re-emit it per degree
+		// instead of repeating the most expensive run three times.
+		var accurate *Measurement
+		for _, d := range Degrees() {
+			for _, mode := range Modes() {
+				if mode == ModeAccurate && accurate != nil {
+					m := *accurate
+					m.Degree = d
+					emit(m)
+					continue
+				}
+				m, err := executeAveraged(spec, inst, ref, mode, d,
+					RunOptions{Workers: opt.Workers}, opt.reps())
+				if err != nil {
+					return err
+				}
+				if mode == ModeAccurate {
+					accurate = &m
+				}
+				emit(m)
+			}
+		}
+	}
+	return nil
+}
+
+// Fig4Row is the runtime-overhead measurement for one benchmark: the
+// all-accurate runtime execution time at several worker counts, normalized
+// to the sequential (runtime-free) time.
+type Fig4Row struct {
+	Bench          string
+	SequentialWall time.Duration
+	Workers        []int
+	Normalized     []float64
+}
+
+// Fig4 measures the runtime overhead experiment of Figure 4.
+func Fig4(opt Options) ([]Fig4Row, error) {
+	benches, err := subset(opt)
+	if err != nil {
+		return nil, err
+	}
+	workerCounts := []int{1, 2, 4}
+	rows := make([]Fig4Row, 0, len(benches))
+	for _, spec := range benches {
+		// Warm caches and code paths on a throwaway instance so the
+		// timed sequential baseline is not penalized for first-touch
+		// costs the runtime runs won't pay either, then keep the best
+		// of reps timings to shed preemption outliers.
+		spec.Make(opt.scale()).Reference()
+		inst := spec.Make(opt.scale())
+		start := time.Now()
+		ref := inst.Reference()
+		seq := time.Since(start)
+		for r := 1; r < opt.reps(); r++ {
+			fresh := spec.Make(opt.scale()) // construction stays untimed
+			start = time.Now()
+			fresh.Reference()
+			if d := time.Since(start); d < seq {
+				seq = d
+			}
+		}
+		if seq <= 0 {
+			seq = time.Nanosecond
+		}
+		row := Fig4Row{Bench: spec.Name, SequentialWall: seq, Workers: workerCounts}
+		for _, w := range workerCounts {
+			// Best-of-reps on the runtime side too, matching the
+			// sequential baseline — otherwise one preempted rep
+			// would inflate the overhead ratio asymmetrically.
+			var best time.Duration
+			for r := 0; r < opt.reps(); r++ {
+				m, err := Execute(spec, inst, ref, ModeAccurate, Medium,
+					RunOptions{Workers: w})
+				if err != nil {
+					return nil, err
+				}
+				if r == 0 || m.Wall < best {
+					best = m.Wall
+				}
+			}
+			row.Normalized = append(row.Normalized, float64(best)/float64(seq))
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}

@@ -1,0 +1,95 @@
+package harness
+
+import (
+	"fmt"
+	"io"
+	"time"
+)
+
+// FormatMeasurementHeader writes the column header matching PrintFig2Row.
+func FormatMeasurementHeader(w io.Writer) {
+	fmt.Fprintf(w, "%-13s %-10s %-12s %12s %11s %10s %6s %6s\n",
+		"benchmark", "degree", "policy", "time", "energy", "quality", "req%", "prov%")
+}
+
+// PrintFig2Row writes one Figure 2 measurement, prefixed by prefix.
+func PrintFig2Row(w io.Writer, m Fig2Row, prefix string) {
+	if !m.Applicable {
+		fmt.Fprintf(w, "%s%-13s %-10s %-12s %12s\n", prefix, m.Bench, m.Degree, m.Mode, "n/a")
+		return
+	}
+	fmt.Fprintf(w, "%s%-13s %-10s %-12s %12v %10.4fJ %10.5f %6.1f %6.1f\n",
+		prefix, m.Bench, m.Degree, m.Mode, m.Wall.Round(time.Microsecond),
+		m.Joules, m.Quality, 100*m.RequestedRatio, 100*m.ProvidedRatio)
+}
+
+// PrintFig4 writes the runtime-overhead rows of Figure 4.
+func PrintFig4(w io.Writer, rows []Fig4Row) {
+	fmt.Fprintln(w, "Figure 4: all-accurate runtime execution time normalized to sequential")
+	if len(rows) == 0 {
+		return
+	}
+	fmt.Fprintf(w, "%-13s %12s", "benchmark", "sequential")
+	for _, wk := range rows[0].Workers {
+		fmt.Fprintf(w, " %9dw", wk)
+	}
+	fmt.Fprintln(w)
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-13s %12v", r.Bench, r.SequentialWall.Round(time.Microsecond))
+		for _, v := range r.Normalized {
+			fmt.Fprintf(w, " %9.2fx", v)
+		}
+		fmt.Fprintln(w)
+	}
+}
+
+// PrintTable2 writes the policy-accuracy rows of Table 2.
+func PrintTable2(w io.Writer, rows []Table2Row) {
+	fmt.Fprintln(w, "Table 2: requested vs provided accurate ratio and significance inversions (Medium)")
+	fmt.Fprintf(w, "%-13s %6s", "benchmark", "req%")
+	for _, m := range table2Modes() {
+		fmt.Fprintf(w, " %9s-prov%% %9s-inv%%", m, m)
+	}
+	fmt.Fprintln(w)
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-13s %6.1f", r.Bench, 100*r.Requested)
+		for _, m := range table2Modes() {
+			fmt.Fprintf(w, " %15.1f %14.1f", r.ProvidedPct[m], r.InversionPct[m])
+		}
+		fmt.Fprintln(w)
+	}
+}
+
+// PrintWindowSweep writes the GTB window ablation.
+func PrintWindowSweep(w io.Writer, rows []WindowRow) {
+	fmt.Fprintln(w, "Ablation: GTB buffer-window sweep (first benchmark, Medium degree)")
+	fmt.Fprintf(w, "%-8s %11s %10s %6s\n", "window", "energy", "quality", "prov%")
+	for _, r := range rows {
+		win := fmt.Sprintf("%d", r.Window)
+		if r.Window == 0 {
+			win = "max"
+		}
+		fmt.Fprintf(w, "%-8s %10.4fJ %10.5f %6.1f\n", win, r.Joules, r.Quality, r.ProvidedPct)
+	}
+}
+
+// PrintOracleComparison writes the online-policy vs max-buffering oracle
+// ablation.
+func PrintOracleComparison(w io.Writer, rows []OracleRow) {
+	fmt.Fprintln(w, "Ablation: online policies vs max-buffering oracle (Medium degree)")
+	fmt.Fprintf(w, "%-13s %-8s %11s %11s %10s %10s\n",
+		"benchmark", "policy", "energy", "oracle-E", "quality", "oracle-Q")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-13s %-8s %10.4fJ %10.4fJ %10.5f %10.5f\n",
+			r.Bench, r.Mode, r.Joules, r.OracleJoules, r.Quality, r.OracleQuality)
+	}
+}
+
+// PrintDVFSStudy writes the DVFS-interaction ablation.
+func PrintDVFSStudy(w io.Writer, rows []DVFSRow) {
+	fmt.Fprintln(w, "Ablation: modeled DVFS interaction (first benchmark, Medium degree)")
+	fmt.Fprintf(w, "%-6s %12s %12s %9s\n", "freq", "accurate", "GTB", "saving")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-6.2f %11.4fJ %11.4fJ %8.1f%%\n", r.Freq, r.AccurateJ, r.ApproxJ, r.SavingPct)
+	}
+}

@@ -1,0 +1,111 @@
+package harness
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"repro/sig"
+)
+
+// Table1 renders the benchmark catalog (the paper's Table 1) to w. The
+// output is deterministic and covered by a golden test.
+func Table1(w io.Writer) {
+	fmt.Fprintln(w, "Table 1: benchmark catalog")
+	fmt.Fprintf(w, "%-13s %-25s %-45s %-38s %s\n",
+		"Benchmark", "Domain", "Task decomposition", "Degradation", "Quality metric")
+	for _, s := range specs() {
+		fmt.Fprintf(w, "%-13s %-25s %-45s %-38s %s\n",
+			s.Name, s.Domain, s.TaskDecomposition, s.Degradation, s.QualityMetric)
+	}
+}
+
+// Table2Row reports, for one benchmark at the Medium degree, how precisely
+// each significance-aware policy honored the requested ratio and how often
+// it inverted the significance order (ran a less significant task accurately
+// at the expense of a more significant one).
+type Table2Row struct {
+	Bench string
+	// Requested is the Medium-degree target accurate ratio.
+	Requested float64
+	// ProvidedPct is the delivered accurate percentage per mode.
+	ProvidedPct map[Mode]float64
+	// InversionPct is the percentage of accurate-execution slots spent
+	// on tasks outside the top-Requested significance set.
+	InversionPct map[Mode]float64
+}
+
+// table2Modes are the significance-aware policies Table 2 audits.
+func table2Modes() []Mode { return []Mode{ModeGTB, ModeGTBMax, ModeLQH} }
+
+// Table2 runs the policy-accuracy experiment.
+func Table2(opt Options) ([]Table2Row, error) {
+	benches, err := subset(opt)
+	if err != nil {
+		return nil, err
+	}
+	rows := make([]Table2Row, 0, len(benches))
+	for _, spec := range benches {
+		inst := spec.Make(opt.scale())
+		ref := inst.Reference()
+		row := Table2Row{
+			Bench:        spec.Name,
+			Requested:    spec.Ratios[Medium],
+			ProvidedPct:  make(map[Mode]float64),
+			InversionPct: make(map[Mode]float64),
+		}
+		for _, mode := range table2Modes() {
+			m, err := Execute(spec, inst, ref, mode, Medium,
+				RunOptions{Workers: opt.Workers, RecordDecisions: true})
+			if err != nil {
+				return nil, err
+			}
+			row.ProvidedPct[mode] = 100 * m.ProvidedRatio
+			row.InversionPct[mode] = inversionPct(m.Decisions)
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// inversionPct measures how far the accurate set strays from the
+// significance oracle: with k accurate executions in a taskwait wave, the
+// oracle spends all k slots on the wave's k most significant tasks; every
+// accurate task strictly below that cutoff is an inversion. Waves are
+// scored independently — iterative benchmarks reassign significance each
+// wave, so cross-wave comparisons would be meaningless — and aggregated
+// over the total accurate count.
+func inversionPct(recs []sig.DecisionRecord) float64 {
+	waves := make(map[int][]sig.DecisionRecord)
+	for _, r := range recs {
+		waves[r.Wave] = append(waves[r.Wave], r)
+	}
+	totalInv, totalK := 0, 0
+	for _, wave := range waves {
+		k := 0
+		for _, r := range wave {
+			if r.Accurate {
+				k++
+			}
+		}
+		if k == 0 {
+			continue
+		}
+		sigs := make([]float64, len(wave))
+		for i, r := range wave {
+			sigs[i] = r.Significance
+		}
+		sort.Sort(sort.Reverse(sort.Float64Slice(sigs)))
+		cutoff := sigs[k-1]
+		for _, r := range wave {
+			if r.Accurate && r.Significance < cutoff {
+				totalInv++
+			}
+		}
+		totalK += k
+	}
+	if totalK == 0 {
+		return 0
+	}
+	return 100 * float64(totalInv) / float64(totalK)
+}

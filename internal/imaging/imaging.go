@@ -1,0 +1,155 @@
+// Package imaging provides the grayscale image plumbing shared by the
+// image-processing benchmarks and the figure generators: PGM I/O, PSNR, the
+// Figure 1/3 quadrant mosaics and a deterministic synthetic test image.
+package imaging
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math"
+)
+
+// Image is an 8-bit grayscale image in row-major order.
+type Image struct {
+	W, H int
+	Pix  []uint8
+}
+
+// NewImage allocates a zeroed W×H image.
+func NewImage(w, h int) *Image {
+	if w <= 0 || h <= 0 {
+		panic("imaging: non-positive image dimensions")
+	}
+	return &Image{W: w, H: h, Pix: make([]uint8, w*h)}
+}
+
+// At returns the pixel at (x, y) without bounds checking beyond the slice's.
+func (im *Image) At(x, y int) uint8 { return im.Pix[y*im.W+x] }
+
+// Set writes the pixel at (x, y).
+func (im *Image) Set(x, y int, v uint8) { im.Pix[y*im.W+x] = v }
+
+// Row returns the y-th row as a sub-slice.
+func (im *Image) Row(y int) []uint8 { return im.Pix[y*im.W : (y+1)*im.W] }
+
+// Clone returns a deep copy.
+func (im *Image) Clone() *Image {
+	out := NewImage(im.W, im.H)
+	copy(out.Pix, im.Pix)
+	return out
+}
+
+// WritePGM writes the image in binary PGM (P5) format.
+func (im *Image) WritePGM(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	if _, err := fmt.Fprintf(bw, "P5\n%d %d\n255\n", im.W, im.H); err != nil {
+		return err
+	}
+	if _, err := bw.Write(im.Pix); err != nil {
+		return err
+	}
+	return bw.Flush()
+}
+
+// ReadPGM reads a binary PGM (P5) image with maxval 255.
+func ReadPGM(r io.Reader) (*Image, error) {
+	br := bufio.NewReader(r)
+	var magic string
+	if _, err := fmt.Fscan(br, &magic); err != nil {
+		return nil, fmt.Errorf("imaging: reading PGM magic: %w", err)
+	}
+	if magic != "P5" {
+		return nil, fmt.Errorf("imaging: unsupported PGM magic %q", magic)
+	}
+	var w, h, maxval int
+	if _, err := fmt.Fscan(br, &w, &h, &maxval); err != nil {
+		return nil, fmt.Errorf("imaging: reading PGM header: %w", err)
+	}
+	if w <= 0 || h <= 0 || maxval != 255 {
+		return nil, fmt.Errorf("imaging: unsupported PGM geometry %dx%d maxval %d", w, h, maxval)
+	}
+	if _, err := br.ReadByte(); err != nil { // single whitespace after maxval
+		return nil, err
+	}
+	im := NewImage(w, h)
+	if _, err := io.ReadFull(br, im.Pix); err != nil {
+		return nil, fmt.Errorf("imaging: reading PGM pixels: %w", err)
+	}
+	return im, nil
+}
+
+// PSNR returns the peak signal-to-noise ratio of b against reference a in
+// dB; identical images yield +Inf.
+func PSNR(a, b *Image) float64 {
+	if a.W != b.W || a.H != b.H {
+		panic("imaging: PSNR of differently sized images")
+	}
+	var se float64
+	for i := range a.Pix {
+		d := float64(a.Pix[i]) - float64(b.Pix[i])
+		se += d * d
+	}
+	if se == 0 {
+		return math.Inf(1)
+	}
+	mse := se / float64(len(a.Pix))
+	return 10 * math.Log10(255*255/mse)
+}
+
+// Quadrants composes four equally sized images into one 2W×2H mosaic:
+// top-left a, top-right b, bottom-left c, bottom-right d. It is the layout
+// of the paper's Figure 1 (accurate / mild / medium / aggressive).
+func Quadrants(a, b, c, d *Image) (*Image, error) {
+	for _, im := range []*Image{b, c, d} {
+		if im.W != a.W || im.H != a.H {
+			return nil, fmt.Errorf("imaging: quadrant size mismatch: %dx%d vs %dx%d", im.W, im.H, a.W, a.H)
+		}
+	}
+	out := NewImage(2*a.W, 2*a.H)
+	blit := func(im *Image, ox, oy int) {
+		for y := 0; y < im.H; y++ {
+			copy(out.Pix[(oy+y)*out.W+ox:(oy+y)*out.W+ox+im.W], im.Row(y))
+		}
+	}
+	blit(a, 0, 0)
+	blit(b, a.W, 0)
+	blit(c, 0, a.H)
+	blit(d, a.W, a.H)
+	return out, nil
+}
+
+// Synthetic renders a deterministic grayscale test scene — gradient
+// background, circles, bars and pseudo-random speckle — with enough edges
+// and texture to exercise Sobel and DCT meaningfully.
+func Synthetic(w, h int, seed int64) *Image {
+	im := NewImage(w, h)
+	rng := uint64(seed)*2862933555777941757 + 3037000493
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			// Diagonal gradient background.
+			v := 32 + 160*(float64(x)+float64(y))/float64(w+h)
+			// Concentric circles centered off-middle.
+			dx, dy := float64(x)-0.6*float64(w), float64(y)-0.4*float64(h)
+			r := math.Sqrt(dx*dx + dy*dy)
+			if int(r/float64(max(8, w/16)))%2 == 0 {
+				v += 40
+			}
+			// Vertical bars on the left third.
+			if x < w/3 && (x/max(4, w/32))%2 == 0 {
+				v -= 35
+			}
+			// Deterministic speckle noise.
+			rng = rng*6364136223846793005 + 1442695040888963407
+			v += float64(int8(rng>>56)) / 16
+			if v < 0 {
+				v = 0
+			}
+			if v > 255 {
+				v = 255
+			}
+			im.Set(x, y, uint8(v))
+		}
+	}
+	return im
+}

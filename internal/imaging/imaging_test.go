@@ -1,0 +1,58 @@
+package imaging
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+)
+
+// TestPGMRoundTrip: ReadPGM must reproduce exactly what WritePGM emitted —
+// it is the read-back path for the mosaics sigbench writes.
+func TestPGMRoundTrip(t *testing.T) {
+	im := Synthetic(37, 21, 7) // odd sizes on purpose
+	var buf bytes.Buffer
+	if err := im.WritePGM(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadPGM(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.W != im.W || got.H != im.H {
+		t.Fatalf("round-trip size %dx%d, want %dx%d", got.W, got.H, im.W, im.H)
+	}
+	if !bytes.Equal(got.Pix, im.Pix) {
+		t.Error("round-trip pixels differ")
+	}
+	if p := PSNR(im, got); !math.IsInf(p, 1) {
+		t.Errorf("round-trip PSNR = %v, want +Inf", p)
+	}
+}
+
+func TestReadPGMRejectsGarbage(t *testing.T) {
+	for name, src := range map[string]string{
+		"magic":     "P2\n2 2\n255\n....",
+		"maxval":    "P5\n2 2\n65535\n....",
+		"truncated": "P5\n4 4\n255\nab",
+	} {
+		if _, err := ReadPGM(strings.NewReader(src)); err == nil {
+			t.Errorf("%s: expected an error", name)
+		}
+	}
+}
+
+func TestQuadrantsSizeMismatch(t *testing.T) {
+	a := NewImage(8, 8)
+	b := NewImage(4, 8)
+	if _, err := Quadrants(a, b, a, a); err == nil {
+		t.Error("expected size-mismatch error")
+	}
+	m, err := Quadrants(a, a, a, a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.W != 16 || m.H != 16 {
+		t.Errorf("mosaic size %dx%d, want 16x16", m.W, m.H)
+	}
+}

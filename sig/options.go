@@ -1,0 +1,71 @@
+package sig
+
+import "reflect"
+
+// TaskOption configures a task at Submit time. The options mirror the
+// clauses of the paper's #pragma omp task directive: label, significant,
+// approxfun, in and out.
+type TaskOption func(*Task)
+
+// WithLabel assigns the task to a group (the label clause).
+func WithLabel(g *Group) TaskOption {
+	return func(t *Task) { t.group = g }
+}
+
+// WithSignificance sets the task's significance (the significant clause),
+// clamped to [0,1]. 1.0 forces accurate execution, 0.0 forces approximate
+// execution; values in between are interpreted by the policy.
+func WithSignificance(s float64) TaskOption {
+	return func(t *Task) { t.Significance = clamp01(s) }
+}
+
+// WithApprox attaches the approximate task body (the approxfun clause). A
+// task selected for approximate execution without one is skipped entirely,
+// which is the model's task-dropping degradation.
+func WithApprox(fn func()) TaskOption {
+	return func(t *Task) { t.approx = fn }
+}
+
+// WithCost declares the task's nominal work in cost units (1 unit ≈ 1ns of
+// nominal-frequency execution) for the accurate and approximate bodies.
+// Declared costs feed the modeled energy account deterministically —
+// immune to preemption and timer noise — instead of the measured execution
+// time fallback. Pass approx 0 for a task whose approximation is a drop.
+func WithCost(accurate, approx float64) TaskOption {
+	return func(t *Task) {
+		t.costAcc = accurate
+		t.costApprox = approx
+	}
+}
+
+// Range describes a span of memory touched by a task, as produced by
+// SliceRange. Footprint declarations are advisory in this runtime: they feed
+// the per-group footprint statistics (and future dependence tracking), they
+// do not synchronize tasks.
+type Range struct {
+	Addr  uintptr
+	Bytes int
+}
+
+// SliceRange describes the elements s[lo:hi] as a task footprint.
+func SliceRange[T any](s []T, lo, hi int) Range {
+	if lo < 0 || hi < lo || hi > len(s) {
+		panic("sig: SliceRange bounds out of range")
+	}
+	size := int(reflect.TypeOf((*T)(nil)).Elem().Size())
+	var addr uintptr
+	if cap(s) > 0 {
+		addr = reflect.ValueOf(s).Pointer() + uintptr(lo*size)
+	}
+	return Range{Addr: addr, Bytes: (hi - lo) * size}
+}
+
+// In declares the task's input footprint (the in clause).
+func In(rs ...Range) TaskOption {
+	return func(t *Task) { t.ins = append(t.ins, rs...) }
+}
+
+// Out declares the task's output footprint (the out clause).
+func Out(rs ...Range) TaskOption {
+	return func(t *Task) { t.outs = append(t.outs, rs...) }
+}

@@ -1,0 +1,323 @@
+package sig
+
+import (
+	"math"
+	"sort"
+)
+
+// PolicyKind selects one of the built-in accuracy policies.
+type PolicyKind int
+
+const (
+	// PolicyAccurate executes every task accurately (the baseline).
+	PolicyAccurate PolicyKind = iota
+	// PolicyGTB is Global Task Buffering: tasks are buffered up to a
+	// window, then the most significant fraction of each window runs
+	// accurately. Larger windows trade decision latency for precision.
+	PolicyGTB
+	// PolicyGTBMaxBuffer is GTB with an unbounded window: every task is
+	// buffered until taskwait, so the requested ratio is met exactly and
+	// the accurate set is exactly the most significant tasks (the oracle
+	// among the online policies).
+	PolicyGTBMaxBuffer
+	// PolicyLQH is Local Queue History: each worker decides at dequeue
+	// time from a local history of recently seen significance values,
+	// avoiding any global synchronization.
+	PolicyLQH
+	// PolicyPerforation ignores significance and drops tasks outright to
+	// meet the ratio — the loop-perforation baseline the paper compares
+	// against.
+	PolicyPerforation
+)
+
+func (k PolicyKind) valid() bool {
+	return k >= PolicyAccurate && k <= PolicyPerforation
+}
+
+// String returns the short name used throughout the evaluation output.
+func (k PolicyKind) String() string {
+	switch k {
+	case PolicyAccurate:
+		return "Accurate"
+	case PolicyGTB:
+		return "GTB"
+	case PolicyGTBMaxBuffer:
+		return "GTB(max)"
+	case PolicyLQH:
+		return "LQH"
+	case PolicyPerforation:
+		return "Perforation"
+	}
+	return "unknown"
+}
+
+// Decision is the outcome of a policy for one task.
+type Decision uint8
+
+const (
+	// decideNone is the zero Decision of a not-yet-decided task.
+	decideNone Decision = iota
+	// DecideAccurate runs the accurate body.
+	DecideAccurate
+	// DecideApprox runs the approximate body (or skips the task if it
+	// has none).
+	DecideApprox
+	// DecideDrop skips the task entirely without running any body.
+	DecideDrop
+	// DecideAtWorker defers the decision to the dequeuing worker, which
+	// resolves it through Policy.WorkerDecide.
+	DecideAtWorker
+)
+
+// Default policy parameters.
+const (
+	DefaultGTBWindow  = 32
+	DefaultLQHHistory = 32
+)
+
+// Policy decides, per task, whether to run the accurate or the approximate
+// version, from the task's significance and its group's target ratio. One
+// policy instance serves one group. Submit and Flush are serialized by the
+// group lock; WorkerDecide may be called concurrently by different workers
+// (with distinct worker ids) and must only touch per-worker state.
+//
+// Custom policies plug in through Config.NewPolicy without touching the
+// scheduler: a policy only annotates tasks with a Decision.
+type Policy interface {
+	// Name identifies the policy in reports.
+	Name() string
+	// Submit offers a newly submitted task. The policy either decides
+	// tasks now — returning every task that became ready, in dispatch
+	// order — or buffers the task and returns nil.
+	Submit(t *Task) []*Task
+	// Flush decides all buffered tasks; called at taskwait and Close.
+	Flush() []*Task
+	// WorkerDecide resolves a task the policy emitted with
+	// DecideAtWorker; worker identifies the calling worker goroutine.
+	WorkerDecide(worker int, t *Task) Decision
+}
+
+// newPolicy builds the built-in policy selected by cfg for group g.
+func newPolicy(cfg Config, g *Group, workers int) Policy {
+	switch cfg.Policy {
+	case PolicyAccurate:
+		return accuratePolicy{}
+	case PolicyGTB:
+		w := cfg.GTBWindow
+		if w == 0 {
+			w = DefaultGTBWindow
+		}
+		return &gtbPolicy{g: g, window: w}
+	case PolicyGTBMaxBuffer:
+		return &gtbPolicy{g: g, window: 0}
+	case PolicyLQH:
+		h := cfg.LQHHistory
+		if h == 0 {
+			h = DefaultLQHHistory
+		}
+		return newLQHPolicy(g, workers, h)
+	case PolicyPerforation:
+		return &perforationPolicy{g: g}
+	}
+	panic("sig: unreachable policy kind")
+}
+
+// accuratePolicy runs everything accurately.
+type accuratePolicy struct{}
+
+func (accuratePolicy) Name() string { return PolicyAccurate.String() }
+
+func (accuratePolicy) Submit(t *Task) []*Task {
+	t.Decision = DecideAccurate
+	return []*Task{t}
+}
+
+func (accuratePolicy) Flush() []*Task { return nil }
+
+func (accuratePolicy) WorkerDecide(int, *Task) Decision { return DecideAccurate }
+
+// perforationPolicy drops a significance-blind fraction of tasks using an
+// error-diffusion accumulator, so any prefix of the stream satisfies the
+// ratio within one task.
+type perforationPolicy struct {
+	g   *Group
+	acc float64
+}
+
+func (p *perforationPolicy) Name() string { return PolicyPerforation.String() }
+
+func (p *perforationPolicy) Submit(t *Task) []*Task {
+	p.acc += p.g.Ratio()
+	if p.acc >= 1-1e-9 {
+		p.acc -= 1
+		t.Decision = DecideAccurate
+	} else {
+		t.Decision = DecideDrop
+	}
+	return []*Task{t}
+}
+
+func (p *perforationPolicy) Flush() []*Task { return nil }
+
+func (p *perforationPolicy) WorkerDecide(int, *Task) Decision { return DecideAccurate }
+
+// gtbPolicy is Global Task Buffering. window==0 means unbounded buffering
+// (PolicyGTBMaxBuffer): decisions happen only at Flush, giving the exact
+// top-ratio-by-significance assignment.
+type gtbPolicy struct {
+	g      *Group
+	window int
+	buf    []*Task
+
+	decidedTotal    int64
+	decidedAccurate int64
+}
+
+func (p *gtbPolicy) Name() string {
+	if p.window == 0 {
+		return PolicyGTBMaxBuffer.String()
+	}
+	return PolicyGTB.String()
+}
+
+func (p *gtbPolicy) Submit(t *Task) []*Task {
+	p.buf = append(p.buf, t)
+	if p.window > 0 && len(p.buf) >= p.window {
+		return p.decide()
+	}
+	return nil
+}
+
+func (p *gtbPolicy) Flush() []*Task { return p.decide() }
+
+// decide ranks the buffered tasks by significance and marks the top share
+// accurate. The accurate quota is computed against the running totals, so
+// per-window rounding errors do not accumulate across windows.
+func (p *gtbPolicy) decide() []*Task {
+	n := len(p.buf)
+	if n == 0 {
+		return nil
+	}
+	ratio := p.g.Ratio()
+	want := int(math.Round(ratio*float64(p.decidedTotal+int64(n)))) - int(p.decidedAccurate)
+	if want < 0 {
+		want = 0
+	}
+	if want > n {
+		want = n
+	}
+	ranked := append([]*Task(nil), p.buf...)
+	sort.SliceStable(ranked, func(i, j int) bool {
+		if ranked[i].Significance != ranked[j].Significance {
+			return ranked[i].Significance > ranked[j].Significance
+		}
+		return ranked[i].Seq < ranked[j].Seq
+	})
+	for i, t := range ranked {
+		if i < want {
+			t.Decision = DecideAccurate
+		} else {
+			t.Decision = DecideApprox
+		}
+	}
+	out := p.buf
+	p.buf = nil
+	p.decidedTotal += int64(n)
+	p.decidedAccurate += int64(want)
+	return out // dispatch in submission order
+}
+
+func (p *gtbPolicy) WorkerDecide(int, *Task) Decision { return DecideAccurate }
+
+// lqhPolicy is Local Queue History: tasks are forwarded to workers
+// undecided, and each worker classifies them against a private ring of
+// recently seen significance values — no shared state, no locks on the
+// decision path. A small drift corrector keeps the locally provided ratio
+// near the target when the significance distribution defeats the histogram
+// estimate.
+type lqhPolicy struct {
+	g       *Group
+	history int
+	states  []lqhState
+}
+
+type lqhState struct {
+	ring     []float64
+	n        int
+	next     int
+	total    int64
+	accurate int64
+	_        [24]byte // pad to reduce false sharing between worker states
+}
+
+func newLQHPolicy(g *Group, workers, history int) *lqhPolicy {
+	p := &lqhPolicy{g: g, history: history, states: make([]lqhState, workers)}
+	for i := range p.states {
+		p.states[i].ring = make([]float64, 0, history)
+	}
+	return p
+}
+
+func (p *lqhPolicy) Name() string { return PolicyLQH.String() }
+
+func (p *lqhPolicy) Submit(t *Task) []*Task {
+	t.Decision = DecideAtWorker
+	return []*Task{t}
+}
+
+func (p *lqhPolicy) Flush() []*Task { return nil }
+
+// lqhDriftTolerance bounds how far the locally provided ratio may drift
+// from the target before the histogram estimate is overridden.
+const lqhDriftTolerance = 0.10
+
+func (p *lqhPolicy) WorkerDecide(worker int, t *Task) Decision {
+	st := &p.states[worker]
+	ratio := p.g.Ratio()
+	var accurate bool
+	switch {
+	case ratio >= 1:
+		accurate = true
+	case ratio <= 0:
+		accurate = false
+	case st.n < min(8, p.history):
+		// Cold start: assume significance ~ U(0,1), so the top-ratio
+		// quantile boundary sits at 1-ratio. Capped by the history
+		// length so short histories still reach the histogram path.
+		accurate = t.Significance >= 1-ratio
+	default:
+		// Histogram estimate: the task runs accurately if its
+		// significance lands in the top `ratio` fraction of the
+		// local history.
+		above := 0
+		for _, h := range st.ring[:st.n] {
+			if h > t.Significance {
+				above++
+			}
+		}
+		accurate = float64(above)/float64(st.n) < ratio
+	}
+	// Drift correction against the locally provided ratio.
+	if st.total > 0 {
+		provided := float64(st.accurate) / float64(st.total)
+		if provided > ratio+lqhDriftTolerance {
+			accurate = false
+		} else if provided < ratio-lqhDriftTolerance {
+			accurate = true
+		}
+	}
+	// Record the observation in the ring.
+	if len(st.ring) < p.history {
+		st.ring = append(st.ring, t.Significance)
+		st.n = len(st.ring)
+	} else {
+		st.ring[st.next] = t.Significance
+		st.next = (st.next + 1) % p.history
+	}
+	st.total++
+	if accurate {
+		st.accurate++
+		return DecideAccurate
+	}
+	return DecideApprox
+}

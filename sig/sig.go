@@ -1,0 +1,490 @@
+// Package sig implements a significance-aware task runtime in the spirit of
+// Vassiliadis et al., "A Programming Model and Runtime System for
+// Significance-Aware Energy-Efficient Computing" (PPoPP'15).
+//
+// Programmers submit tasks tagged with a significance value in [0,1] and,
+// optionally, a cheap approximate version of the task body. A per-group
+// accuracy ratio — the single quality knob of the model — asks the runtime to
+// execute at least that fraction of the group's tasks accurately. A pluggable
+// Policy (see policy.go) decides which tasks run accurately and which run
+// approximately (or are dropped), trading result quality for energy.
+//
+// The runtime models energy instead of measuring hardware counters: workers
+// account their busy time and a configurable EnergyModel converts busy/idle
+// time into Joules (see energy.go). Energy reports remain valid and stable
+// after Close.
+package sig
+
+import (
+	"fmt"
+	"math"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Config parameterizes a Runtime.
+type Config struct {
+	// Workers is the number of worker goroutines; 0 means GOMAXPROCS.
+	Workers int
+	// Policy selects the accuracy policy used by every task group.
+	Policy PolicyKind
+	// GTBWindow is the buffer size of PolicyGTB (0 means DefaultGTBWindow).
+	GTBWindow int
+	// LQHHistory is the per-worker history length of PolicyLQH
+	// (0 means DefaultLQHHistory).
+	LQHHistory int
+	// Energy overrides the modeled power figures; zero fields take defaults.
+	Energy EnergyModel
+	// RecordDecisions makes each group keep an ordered log of
+	// (significance, accurate) pairs for post-hoc policy-accuracy analysis
+	// (Table 2). Off by default: it costs memory per task.
+	RecordDecisions bool
+	// NewPolicy, when non-nil, overrides Policy with a custom policy
+	// constructor, called once per task group.
+	NewPolicy func(g *Group) Policy
+}
+
+// Task is a unit of work submitted to the runtime. Policies read the exported
+// fields and set Decision; the bodies themselves stay private to the runtime.
+type Task struct {
+	// Significance in [0,1]; larger values contribute more to output
+	// quality. The special values are handled by the runtime itself:
+	// 1.0 always runs accurately, 0.0 always approximately.
+	Significance float64
+	// Seq is the submission sequence number within the runtime (for
+	// deterministic tie-breaking).
+	Seq uint64
+	// Decision is set by the policy (or the runtime, for the special
+	// significance values) before the task is dispatched.
+	Decision Decision
+
+	group    *Group
+	accurate func()
+	approx   func()
+	ins      []Range
+	outs     []Range
+	// Declared nominal costs in units of ~1ns; negative means
+	// undeclared (fall back to measured execution time).
+	costAcc    float64
+	costApprox float64
+	wave       int
+}
+
+// HasApprox reports whether the task carries an approximate body. Tasks
+// decided DecideApprox without one are simply skipped (the paper's
+// task-dropping degradation).
+func (t *Task) HasApprox() bool { return t.approx != nil }
+
+// Group returns the task's group.
+func (t *Task) Group() *Group { return t.group }
+
+// Group is a labeled set of tasks sharing an accuracy ratio, the unit of
+// synchronization (taskwait) of the programming model.
+type Group struct {
+	rt    *Runtime
+	name  string
+	ratio atomic.Uint64 // math.Float64bits of the requested accurate ratio
+
+	mu     sync.Mutex // guards policy and decision log
+	policy Policy
+	log    []DecisionRecord
+	wave   atomic.Int64 // taskwait epoch counter
+
+	pendMu  sync.Mutex
+	pending int
+	pendC   *sync.Cond
+
+	submitted   atomic.Int64
+	accurate    atomic.Int64
+	approximate atomic.Int64
+	dropped     atomic.Int64
+	inBytes     atomic.Int64
+	outBytes    atomic.Int64
+}
+
+// Name returns the group's label.
+func (g *Group) Name() string { return g.name }
+
+// Ratio returns the currently requested accurate-execution ratio.
+func (g *Group) Ratio() float64 { return math.Float64frombits(g.ratio.Load()) }
+
+func (g *Group) setRatio(r float64) { g.ratio.Store(math.Float64bits(clamp01(r))) }
+
+// Runtime is a significance-aware task scheduler. Create one with New, submit
+// tasks with Submit, synchronize with Wait, and release it with Close.
+// Submit and Wait must be called from the submitting goroutine(s), not from
+// task bodies.
+type Runtime struct {
+	cfg     Config
+	workers int
+	energy  EnergyModel
+
+	queue chan *Task
+	wg    sync.WaitGroup
+
+	mu     sync.Mutex
+	groups map[string]*Group
+	order  []*Group
+	closed bool
+	frozen *Report
+
+	start  time.Time
+	busyNS []int64 // per-worker busy nanoseconds, updated atomically
+	seq    atomic.Uint64
+}
+
+// New creates and starts a Runtime.
+func New(cfg Config) (*Runtime, error) {
+	if cfg.Workers < 0 {
+		return nil, fmt.Errorf("sig: negative worker count %d", cfg.Workers)
+	}
+	if cfg.GTBWindow < 0 || cfg.LQHHistory < 0 {
+		return nil, fmt.Errorf("sig: negative policy parameter")
+	}
+	if cfg.NewPolicy == nil && !cfg.Policy.valid() {
+		return nil, fmt.Errorf("sig: unknown policy kind %d", cfg.Policy)
+	}
+	workers := cfg.Workers
+	if workers == 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	rt := &Runtime{
+		cfg:     cfg,
+		workers: workers,
+		energy:  cfg.Energy.withDefaults(),
+		queue:   make(chan *Task, 64*workers),
+		groups:  make(map[string]*Group),
+		start:   time.Now(),
+		busyNS:  make([]int64, workers),
+	}
+	rt.wg.Add(workers)
+	for i := 0; i < workers; i++ {
+		go rt.worker(i)
+	}
+	return rt, nil
+}
+
+// Workers returns the size of the worker pool.
+func (rt *Runtime) Workers() int { return rt.workers }
+
+// Group returns the task group with the given name, creating it on first
+// use, and sets its requested accurate ratio (clamped to [0,1]). Calling it
+// again with the same name returns the same group with the ratio updated —
+// this is what lets the translator resolve a taskwait's ratio clause onto
+// submissions that textually precede it.
+func (rt *Runtime) Group(name string, ratio float64) *Group {
+	g, existed := rt.getOrCreateGroup(name, ratio)
+	if existed {
+		g.setRatio(ratio)
+	}
+	return g
+}
+
+func (rt *Runtime) getOrCreateGroup(name string, ratio float64) (*Group, bool) {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	if g, ok := rt.groups[name]; ok {
+		return g, true
+	}
+	g := &Group{rt: rt, name: name}
+	g.pendC = sync.NewCond(&g.pendMu)
+	g.setRatio(ratio)
+	g.policy = rt.newPolicy(g)
+	rt.groups[name] = g
+	rt.order = append(rt.order, g)
+	return g, false
+}
+
+func (rt *Runtime) newPolicy(g *Group) Policy {
+	if rt.cfg.NewPolicy != nil {
+		return rt.cfg.NewPolicy(g)
+	}
+	return newPolicy(rt.cfg, g, rt.workers)
+}
+
+// defaultGroup is used by tasks submitted without WithLabel. It is created
+// with ratio 1.0 on first use but never overrides a ratio the user set via
+// rt.Group("", r).
+func (rt *Runtime) defaultGroup() *Group {
+	g, _ := rt.getOrCreateGroup("", 1.0)
+	return g
+}
+
+// Submit schedules fn as a significance-annotated task. Options attach the
+// group label, the significance, an approximate body and the data footprint.
+// Without options the task is fully significant and runs accurately.
+func (rt *Runtime) Submit(fn func(), opts ...TaskOption) {
+	if fn == nil {
+		panic("sig: Submit with nil task body")
+	}
+	t := &Task{Significance: 1.0, Seq: rt.seq.Add(1), accurate: fn, costAcc: -1, costApprox: -1}
+	for _, o := range opts {
+		o(t)
+	}
+	if t.group == nil {
+		t.group = rt.defaultGroup()
+	}
+	g := t.group
+	if g.rt != rt {
+		panic("sig: task label belongs to a different runtime")
+	}
+	// rt.mu is held through dispatch so Submit cannot race Close: once
+	// Close marks the runtime closed, every in-flight Submit has fully
+	// entered its group (and will be drained by Close's WaitAll), and
+	// every later Submit panics before touching the queue.
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	if rt.closed {
+		panic("sig: Submit on closed runtime")
+	}
+
+	g.submitted.Add(1)
+	t.wave = int(g.wave.Load())
+	for _, r := range t.ins {
+		g.inBytes.Add(int64(r.Bytes))
+	}
+	for _, r := range t.outs {
+		g.outBytes.Add(int64(r.Bytes))
+	}
+	g.enter()
+
+	// The special significance values bypass the policy (§2 of the paper):
+	// 1.0 is unconditionally accurate, 0.0 unconditionally approximate.
+	if t.Significance >= 1.0 {
+		t.Decision = DecideAccurate
+		rt.dispatch(t)
+		return
+	}
+	if t.Significance <= 0.0 {
+		t.Decision = DecideApprox
+		rt.dispatch(t)
+		return
+	}
+
+	g.mu.Lock()
+	ready := g.policy.Submit(t)
+	g.mu.Unlock()
+	for _, r := range ready {
+		rt.dispatch(r)
+	}
+}
+
+// dispatch routes a decided task: dropped tasks complete immediately, the
+// rest go to the worker pool.
+func (rt *Runtime) dispatch(t *Task) {
+	if t.Decision == DecideDrop {
+		t.group.dropped.Add(1)
+		t.group.record(t, false)
+		t.group.leave()
+		return
+	}
+	rt.queue <- t
+}
+
+func (rt *Runtime) worker(id int) {
+	defer rt.wg.Done()
+	for t := range rt.queue {
+		rt.execute(id, t)
+	}
+}
+
+func (rt *Runtime) execute(id int, t *Task) {
+	g := t.group
+	d := t.Decision
+	if d == DecideAtWorker {
+		g.mu.Lock()
+		p := g.policy
+		g.mu.Unlock()
+		d = p.WorkerDecide(id, t)
+		t.Decision = d
+	}
+	switch d {
+	case DecideAccurate:
+		rt.runBody(id, t.accurate, t.costAcc)
+		g.accurate.Add(1)
+		g.record(t, true)
+	case DecideApprox:
+		if t.approx != nil {
+			rt.runBody(id, t.approx, t.costApprox)
+		} else if t.costApprox > 0 {
+			atomic.AddInt64(&rt.busyNS[id], int64(t.costApprox))
+		}
+		g.approximate.Add(1)
+		g.record(t, false)
+	case DecideDrop:
+		g.dropped.Add(1)
+		g.record(t, false)
+	default:
+		panic(fmt.Sprintf("sig: task executed with undecided decision %d", d))
+	}
+	g.leave()
+}
+
+// runBody executes one task body and charges its work to the worker's busy
+// account: the declared cost when the task carries one (deterministic), the
+// measured execution time otherwise.
+func (rt *Runtime) runBody(id int, body func(), cost float64) {
+	if cost >= 0 {
+		body()
+		atomic.AddInt64(&rt.busyNS[id], int64(cost))
+		return
+	}
+	start := time.Now()
+	body()
+	atomic.AddInt64(&rt.busyNS[id], int64(time.Since(start)))
+}
+
+func (g *Group) enter() {
+	g.pendMu.Lock()
+	g.pending++
+	g.pendMu.Unlock()
+}
+
+func (g *Group) leave() {
+	g.pendMu.Lock()
+	g.pending--
+	if g.pending == 0 {
+		g.pendC.Broadcast()
+	}
+	g.pendMu.Unlock()
+}
+
+func (g *Group) record(t *Task, accurate bool) {
+	if !g.rt.cfg.RecordDecisions {
+		return
+	}
+	g.mu.Lock()
+	g.log = append(g.log, DecisionRecord{Significance: t.Significance, Accurate: accurate, Wave: t.wave})
+	g.mu.Unlock()
+}
+
+// providedRatio is the achieved accurate fraction over all decided tasks.
+func (g *Group) providedRatio() float64 {
+	acc := g.accurate.Load()
+	total := acc + g.approximate.Load() + g.dropped.Load()
+	if total == 0 {
+		return 0
+	}
+	return float64(acc) / float64(total)
+}
+
+// Wait is the taskwait of the model: it flushes the group's policy buffer,
+// blocks until every task of the group has completed (or been dropped) and
+// returns the accuracy ratio the run actually provided.
+func (rt *Runtime) Wait(g *Group) float64 {
+	if g == nil {
+		g = rt.defaultGroup()
+	}
+	g.mu.Lock()
+	ready := g.policy.Flush()
+	g.mu.Unlock()
+	for _, t := range ready {
+		rt.dispatch(t)
+	}
+	g.pendMu.Lock()
+	for g.pending > 0 {
+		g.pendC.Wait()
+	}
+	g.pendMu.Unlock()
+	g.wave.Add(1)
+	return g.providedRatio()
+}
+
+// WaitAll waits on every group ever created on this runtime.
+func (rt *Runtime) WaitAll() {
+	rt.mu.Lock()
+	groups := append([]*Group(nil), rt.order...)
+	rt.mu.Unlock()
+	for _, g := range groups {
+		rt.Wait(g)
+	}
+}
+
+// Close drains all groups, stops the workers and freezes the energy report.
+// It is idempotent. Energy and Stats remain valid after Close; Energy is
+// additionally guaranteed to be stable (repeated calls return the identical
+// report), which makes `rt.Close(); rep := rt.Energy()` a supported idiom.
+func (rt *Runtime) Close() error {
+	rt.mu.Lock()
+	if rt.closed {
+		rt.mu.Unlock()
+		return nil
+	}
+	rt.closed = true
+	rt.mu.Unlock()
+
+	rt.WaitAll()
+	close(rt.queue)
+	rt.wg.Wait()
+
+	rep := rt.report(time.Since(rt.start))
+	rt.mu.Lock()
+	rt.frozen = &rep
+	rt.mu.Unlock()
+	return nil
+}
+
+// Energy returns the modeled energy report. Before Close it is a live
+// snapshot; after Close it is frozen at the moment the last task finished
+// and stays stable across calls.
+func (rt *Runtime) Energy() Report {
+	rt.mu.Lock()
+	frozen := rt.frozen
+	rt.mu.Unlock()
+	if frozen != nil {
+		return *frozen
+	}
+	return rt.report(time.Since(rt.start))
+}
+
+func (rt *Runtime) report(wall time.Duration) Report {
+	var busy int64
+	for i := range rt.busyNS {
+		busy += atomic.LoadInt64(&rt.busyNS[i])
+	}
+	return rt.energy.report(wall, time.Duration(busy), rt.workers)
+}
+
+// Stats returns a snapshot of per-group task accounting.
+func (rt *Runtime) Stats() Stats {
+	rt.mu.Lock()
+	groups := append([]*Group(nil), rt.order...)
+	rt.mu.Unlock()
+	st := Stats{}
+	for _, g := range groups {
+		gs := GroupStats{
+			Name:           g.name,
+			Submitted:      int(g.submitted.Load()),
+			Accurate:       int(g.accurate.Load()),
+			Approximate:    int(g.approximate.Load()),
+			Dropped:        int(g.dropped.Load()),
+			RequestedRatio: g.Ratio(),
+			ProvidedRatio:  g.providedRatio(),
+			InBytes:        g.inBytes.Load(),
+			OutBytes:       g.outBytes.Load(),
+		}
+		if rt.cfg.RecordDecisions {
+			g.mu.Lock()
+			gs.Decisions = append([]DecisionRecord(nil), g.log...)
+			g.mu.Unlock()
+		}
+		st.Groups = append(st.Groups, gs)
+		st.Submitted += gs.Submitted
+		st.Accurate += gs.Accurate
+		st.Approximate += gs.Approximate
+		st.Dropped += gs.Dropped
+	}
+	return st
+}
+
+func clamp01(x float64) float64 {
+	switch {
+	case x < 0 || math.IsNaN(x):
+		return 0
+	case x > 1:
+		return 1
+	}
+	return x
+}

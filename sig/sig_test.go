@@ -1,0 +1,230 @@
+package sig
+
+import (
+	"math"
+	"testing"
+	"time"
+)
+
+// submitBatch submits n tasks with significances cycling over nine levels
+// in (0,1) and returns the group plus a record of which ran accurately.
+func submitBatch(t *testing.T, rt *Runtime, n int, ratio float64) (*Group, []bool) {
+	t.Helper()
+	grp := rt.Group("batch", ratio)
+	accurate := make([]bool, n)
+	for i := 0; i < n; i++ {
+		i := i
+		rt.Submit(
+			func() { accurate[i] = true },
+			WithLabel(grp),
+			WithSignificance(float64(i%9+1)/10),
+			WithApprox(func() {}),
+			WithCost(100, 10),
+		)
+	}
+	return grp, accurate
+}
+
+func newRT(t *testing.T, cfg Config) *Runtime {
+	t.Helper()
+	if cfg.Workers == 0 {
+		cfg.Workers = 1 // deterministic decision order for policy tests
+	}
+	rt, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rt
+}
+
+// TestEnergyStableAfterClose is the regression test for the documented
+// contract that Energy() is valid and stable after Close — the idiom the
+// sobel example relies on (rt.Close(); rep := rt.Energy()).
+func TestEnergyStableAfterClose(t *testing.T) {
+	rt := newRT(t, Config{Policy: PolicyGTBMaxBuffer})
+	_, _ = submitBatch(t, rt, 50, 0.5)
+	if err := rt.Close(); err != nil {
+		t.Fatal(err)
+	}
+	rep1 := rt.Energy()
+	time.Sleep(5 * time.Millisecond)
+	rep2 := rt.Energy()
+	if rep1 != rep2 {
+		t.Errorf("Energy() not stable after Close: first %+v, then %+v", rep1, rep2)
+	}
+	if rep1.Joules <= 0 {
+		t.Errorf("expected positive modeled energy, got %v", rep1.Joules)
+	}
+	if rep1.Wall <= 0 {
+		t.Errorf("expected positive wall time, got %v", rep1.Wall)
+	}
+	// With declared costs the energy account is exact: 25 accurate
+	// (cost 100) + 25 approximate (cost 10) at ActiveWatts per ns.
+	wantBusy := time.Duration(25*100 + 25*10)
+	if rep1.Busy != wantBusy {
+		t.Errorf("modeled busy = %v, want %v", rep1.Busy, wantBusy)
+	}
+}
+
+// TestPolicyRatioCompliance checks requested-vs-provided accurate ratios
+// for every built-in policy.
+func TestPolicyRatioCompliance(t *testing.T) {
+	const n = 450
+	cases := []struct {
+		name      string
+		cfg       Config
+		ratio     float64
+		want      float64
+		tolerance float64
+	}{
+		{"Accurate", Config{Policy: PolicyAccurate}, 0.3, 1.0, 0},
+		{"GTBMax-0.3", Config{Policy: PolicyGTBMaxBuffer}, 0.3, 0.3, 1.0 / n},
+		{"GTBMax-0.6", Config{Policy: PolicyGTBMaxBuffer}, 0.6, 0.6, 1.0 / n},
+		{"GTB-0.3", Config{Policy: PolicyGTB, GTBWindow: 32}, 0.3, 0.3, 0.02},
+		{"GTB-0.6", Config{Policy: PolicyGTB, GTBWindow: 8}, 0.6, 0.6, 0.02},
+		{"Perforation-0.3", Config{Policy: PolicyPerforation}, 0.3, 0.3, 0.02},
+		{"LQH-0.3", Config{Policy: PolicyLQH}, 0.3, 0.3, 0.15},
+		{"LQH-0.6", Config{Policy: PolicyLQH}, 0.6, 0.6, 0.15},
+		{"LQH-short-history", Config{Policy: PolicyLQH, LQHHistory: 4}, 0.4, 0.4, 0.15},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			rt := newRT(t, tc.cfg)
+			defer rt.Close()
+			grp, _ := submitBatch(t, rt, n, tc.ratio)
+			provided := rt.Wait(grp)
+			if math.Abs(provided-tc.want) > tc.tolerance+1e-9 {
+				t.Errorf("%s: requested ratio %.2f, provided %.3f (tolerance %.3f)",
+					tc.name, tc.ratio, provided, tc.tolerance)
+			}
+		})
+	}
+}
+
+// TestGTBMaxPicksTopSignificance checks the max-buffering policy is the
+// significance oracle: exactly the most significant tasks run accurately.
+func TestGTBMaxPicksTopSignificance(t *testing.T) {
+	rt := newRT(t, Config{Policy: PolicyGTBMaxBuffer})
+	defer rt.Close()
+	const n = 90 // 10 tasks per significance level
+	grp, accurate := submitBatch(t, rt, n, 0.3)
+	rt.Wait(grp)
+	// ratio 0.3 of 90 = 27 accurate slots; levels 0.9 and 0.8 fill 20,
+	// level 0.7 takes the remaining 7 (lowest Seq first).
+	for i := 0; i < n; i++ {
+		level := float64(i%9+1) / 10
+		switch {
+		case level >= 0.8 && !accurate[i]:
+			t.Errorf("task %d (sig %.1f) should be accurate", i, level)
+		case level <= 0.6 && accurate[i]:
+			t.Errorf("task %d (sig %.1f) should be approximate", i, level)
+		}
+	}
+}
+
+// TestSpecialSignificanceValues: 1.0 must always run accurately and 0.0
+// always approximately, whatever the policy and ratio ask.
+func TestSpecialSignificanceValues(t *testing.T) {
+	for _, kind := range []PolicyKind{PolicyGTB, PolicyGTBMaxBuffer, PolicyLQH, PolicyPerforation} {
+		rt := newRT(t, Config{Policy: kind})
+		grp := rt.Group("special", 0.5)
+		var ranAcc, ranApprox bool
+		rt.Submit(func() { ranAcc = true }, WithLabel(grp),
+			WithSignificance(1.0), WithApprox(func() {}))
+		rt.Submit(func() {}, WithLabel(grp),
+			WithSignificance(0.0), WithApprox(func() { ranApprox = true }))
+		rt.Wait(grp)
+		rt.Close()
+		if !ranAcc {
+			t.Errorf("%v: significance 1.0 did not run accurately", kind)
+		}
+		if !ranApprox {
+			t.Errorf("%v: significance 0.0 did not run approximately", kind)
+		}
+	}
+}
+
+// TestWaitReturnsProvidedRatio checks Wait's return value matches Stats.
+func TestWaitReturnsProvidedRatio(t *testing.T) {
+	rt := newRT(t, Config{Policy: PolicyGTBMaxBuffer})
+	defer rt.Close()
+	grp, _ := submitBatch(t, rt, 100, 0.4)
+	provided := rt.Wait(grp)
+	st := rt.Stats()
+	for _, g := range st.Groups {
+		if g.Name != "batch" {
+			continue
+		}
+		if math.Abs(g.ProvidedRatio-provided) > 1e-9 {
+			t.Errorf("Wait returned %.3f but Stats says %.3f", provided, g.ProvidedRatio)
+		}
+		if g.Accurate != 40 {
+			t.Errorf("expected 40 accurate of 100, got %d", g.Accurate)
+		}
+	}
+}
+
+// TestApproxWithoutBodyIsSkipped: a task selected for approximation without
+// an approximate body must be skipped without running anything.
+func TestApproxWithoutBodyIsSkipped(t *testing.T) {
+	rt := newRT(t, Config{Policy: PolicyGTBMaxBuffer})
+	defer rt.Close()
+	grp := rt.Group("skip", 0.0)
+	ran := false
+	rt.Submit(func() { ran = true }, WithLabel(grp), WithSignificance(0.5))
+	rt.Wait(grp)
+	if ran {
+		t.Error("task without approx body ran accurately despite ratio 0")
+	}
+	st := rt.Stats()
+	if st.Approximate != 1 {
+		t.Errorf("expected 1 approximate-counted task, got %+v", st)
+	}
+}
+
+// TestPerforationDropsAreCounted: perforation must drop, not approximate.
+func TestPerforationDropsAreCounted(t *testing.T) {
+	rt := newRT(t, Config{Policy: PolicyPerforation})
+	defer rt.Close()
+	grp, _ := submitBatch(t, rt, 100, 0.25)
+	rt.Wait(grp)
+	st := rt.Stats()
+	g := st.Groups[0]
+	if g.Accurate != 25 || g.Dropped != 75 || g.Approximate != 0 {
+		t.Errorf("perforation at 0.25 over 100 tasks: got %d accurate / %d approx / %d dropped",
+			g.Accurate, g.Approximate, g.Dropped)
+	}
+}
+
+// TestDefaultGroupKeepsConfiguredRatio: unlabeled submissions and Wait(nil)
+// must not reset a ratio the user set on the default group.
+func TestDefaultGroupKeepsConfiguredRatio(t *testing.T) {
+	rt := newRT(t, Config{Policy: PolicyGTBMaxBuffer})
+	defer rt.Close()
+	rt.Group("", 0.5)
+	n := 0
+	for i := 0; i < 10; i++ {
+		rt.Submit(func() { n++ }, WithSignificance(float64(i%9+1)/10), WithApprox(func() {}))
+	}
+	provided := rt.Wait(nil)
+	if math.Abs(provided-0.5) > 1e-9 {
+		t.Errorf("default-group ratio 0.5 not honored: provided %.2f", provided)
+	}
+	if n != 5 {
+		t.Errorf("expected 5 accurate executions, got %d", n)
+	}
+}
+
+// TestCustomPolicyPlugsIn: Config.NewPolicy overrides the built-ins without
+// touching the scheduler.
+func TestCustomPolicyPlugsIn(t *testing.T) {
+	rt := newRT(t, Config{NewPolicy: func(g *Group) Policy { return accuratePolicy{} }})
+	defer rt.Close()
+	grp, accurate := submitBatch(t, rt, 20, 0.0)
+	rt.Wait(grp)
+	for i, acc := range accurate {
+		if !acc {
+			t.Errorf("custom always-accurate policy: task %d ran approximately", i)
+		}
+	}
+}

@@ -1,0 +1,41 @@
+package sig
+
+// Stats is a snapshot of task accounting across all groups of a runtime.
+type Stats struct {
+	Submitted   int
+	Accurate    int
+	Approximate int
+	Dropped     int
+	Groups      []GroupStats
+}
+
+// GroupStats is the per-group accounting snapshot.
+type GroupStats struct {
+	Name      string
+	Submitted int
+	// Accurate, Approximate and Dropped count decided-and-completed
+	// tasks; Dropped counts tasks skipped without running any body.
+	Accurate    int
+	Approximate int
+	Dropped     int
+	// RequestedRatio is the group's target accurate fraction;
+	// ProvidedRatio is the fraction actually delivered.
+	RequestedRatio float64
+	ProvidedRatio  float64
+	// InBytes/OutBytes total the declared task footprints.
+	InBytes  int64
+	OutBytes int64
+	// Decisions is the ordered per-task decision log, populated only when
+	// Config.RecordDecisions is set.
+	Decisions []DecisionRecord
+}
+
+// DecisionRecord is one entry of a group's decision log.
+type DecisionRecord struct {
+	Significance float64
+	Accurate     bool
+	// Wave counts the group's taskwait epochs: iterative benchmarks
+	// submit one wave per Wait cycle, and significance values are only
+	// comparable within a wave.
+	Wave int
+}
