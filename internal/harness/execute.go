@@ -32,6 +32,9 @@ type Measurement struct {
 	Wall    time.Duration
 	Joules  float64
 	Quality float64
+	// TasksPerSec is the submitted-task throughput of the run
+	// (submitted tasks / wall time), the scheduler-side speed metric.
+	TasksPerSec float64
 	// RequestedRatio is the ratio asked of the runtime; ProvidedRatio
 	// the accurate fraction it delivered.
 	RequestedRatio float64
@@ -84,6 +87,9 @@ func Execute(spec Spec, inst Instance, ref any, mode Mode, degree Degree, opt Ru
 	if decided > 0 {
 		m.ProvidedRatio = float64(st.Accurate) / float64(decided)
 	}
+	if m.Wall > 0 {
+		m.TasksPerSec = float64(st.Submitted) / m.Wall.Seconds()
+	}
 	if opt.RecordDecisions {
 		for _, g := range st.Groups {
 			m.Decisions = append(m.Decisions, g.Decisions...)
@@ -114,6 +120,7 @@ func executeAveraged(spec Spec, inst Instance, ref any, mode Mode, degree Degree
 		acc.Joules += m.Joules
 		acc.Quality += m.Quality
 		acc.ProvidedRatio += m.ProvidedRatio
+		acc.TasksPerSec += m.TasksPerSec
 		acc.Report.Joules += m.Report.Joules
 		acc.Report.Wall += m.Report.Wall
 		acc.Report.Busy += m.Report.Busy
@@ -123,6 +130,7 @@ func executeAveraged(spec Spec, inst Instance, ref any, mode Mode, degree Degree
 		acc.Joules /= float64(reps)
 		acc.Quality /= float64(reps)
 		acc.ProvidedRatio /= float64(reps)
+		acc.TasksPerSec /= float64(reps)
 		acc.Report.Joules /= float64(reps)
 		acc.Report.Wall /= time.Duration(reps)
 		acc.Report.Busy /= time.Duration(reps)

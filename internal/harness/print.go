@@ -8,8 +8,8 @@ import (
 
 // FormatMeasurementHeader writes the column header matching PrintFig2Row.
 func FormatMeasurementHeader(w io.Writer) {
-	fmt.Fprintf(w, "%-13s %-10s %-12s %12s %11s %10s %6s %6s\n",
-		"benchmark", "degree", "policy", "time", "energy", "quality", "req%", "prov%")
+	fmt.Fprintf(w, "%-13s %-10s %-12s %12s %11s %10s %6s %6s %10s\n",
+		"benchmark", "degree", "policy", "time", "energy", "quality", "req%", "prov%", "ktasks/s")
 }
 
 // PrintFig2Row writes one Figure 2 measurement, prefixed by prefix.
@@ -18,9 +18,10 @@ func PrintFig2Row(w io.Writer, m Fig2Row, prefix string) {
 		fmt.Fprintf(w, "%s%-13s %-10s %-12s %12s\n", prefix, m.Bench, m.Degree, m.Mode, "n/a")
 		return
 	}
-	fmt.Fprintf(w, "%s%-13s %-10s %-12s %12v %10.4fJ %10.5f %6.1f %6.1f\n",
+	fmt.Fprintf(w, "%s%-13s %-10s %-12s %12v %10.4fJ %10.5f %6.1f %6.1f %10.1f\n",
 		prefix, m.Bench, m.Degree, m.Mode, m.Wall.Round(time.Microsecond),
-		m.Joules, m.Quality, 100*m.RequestedRatio, 100*m.ProvidedRatio)
+		m.Joules, m.Quality, 100*m.RequestedRatio, 100*m.ProvidedRatio,
+		m.TasksPerSec/1e3)
 }
 
 // PrintFig4 writes the runtime-overhead rows of Figure 4.

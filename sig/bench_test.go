@@ -1,0 +1,194 @@
+package sig
+
+import (
+	"fmt"
+	"runtime"
+	"testing"
+)
+
+// Microbenchmarks for the scheduler hot path. They use only the public API
+// so the same file measures any scheduler implementation; BENCH_sig.json
+// records the before/after numbers across scheduler generations.
+
+// benchBody is a no-capture task body: the scheduler cost dominates.
+func benchBody() {}
+
+// benchOpts builds the option slice once so the benchmark loop measures
+// Submit, not closure construction.
+func benchOpts(g *Group) []TaskOption {
+	return []TaskOption{WithLabel(g), WithSignificance(0.5), WithApprox(benchBody), WithCost(50, 5)}
+}
+
+// benchFlushEvery bounds the buffer growth of buffering policies (and the
+// pending count) during open-loop submit benchmarks.
+const benchFlushEvery = 1 << 15
+
+// BenchmarkSubmit measures single-threaded submit throughput per policy.
+func BenchmarkSubmit(b *testing.B) {
+	for _, kind := range []PolicyKind{PolicyAccurate, PolicyGTB, PolicyGTBMaxBuffer, PolicyLQH, PolicyPerforation} {
+		b.Run(kind.String(), func(b *testing.B) {
+			rt, err := New(Config{Workers: 2, Policy: kind})
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer rt.Close()
+			g := rt.Group("bench", 0.5)
+			opts := benchOpts(g)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				rt.Submit(benchBody, opts...)
+				if i%benchFlushEvery == benchFlushEvery-1 {
+					// Drain outside the timed region: this benchmark
+					// measures submit throughput, not execution.
+					b.StopTimer()
+					rt.Wait(g)
+					b.StartTimer()
+				}
+			}
+			b.StopTimer()
+			rt.Wait(g)
+			b.StartTimer()
+		})
+	}
+}
+
+// BenchmarkSubmitBatch measures batched submit throughput per policy: one
+// benchmark op is one task, submitted through SubmitBatch in chunks. This is
+// the scheduler's peak-ingest path (slab-allocated tasks, one policy lock
+// and one sequence reservation per chunk).
+func BenchmarkSubmitBatch(b *testing.B) {
+	const chunk = 512
+	for _, kind := range []PolicyKind{PolicyAccurate, PolicyGTB, PolicyGTBMaxBuffer, PolicyLQH, PolicyPerforation} {
+		b.Run(kind.String(), func(b *testing.B) {
+			rt, err := New(Config{Workers: 2, Policy: kind})
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer rt.Close()
+			g := rt.Group("bench", 0.5)
+			specs := make([]TaskSpec, chunk)
+			for i := range specs {
+				specs[i] = TaskSpec{Fn: benchBody, Approx: benchBody, Significance: 0.5,
+					HasCost: true, CostAccurate: 50, CostApprox: 5}
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for submitted := 0; submitted < b.N; {
+				n := len(specs)
+				if rem := b.N - submitted; rem < n {
+					n = rem
+				}
+				rt.SubmitBatch(g, specs[:n])
+				submitted += n
+				if submitted%benchFlushEvery < chunk {
+					b.StopTimer()
+					rt.Wait(g)
+					b.StartTimer()
+				}
+			}
+			b.StopTimer()
+			rt.Wait(g)
+			b.StartTimer()
+		})
+	}
+}
+
+// BenchmarkSubmitParallel measures multi-producer scaling: 1, 4 and
+// GOMAXPROCS concurrent submitters against a shared runtime.
+func BenchmarkSubmitParallel(b *testing.B) {
+	producers := []int{1, 4, runtime.GOMAXPROCS(0)}
+	for _, np := range producers {
+		b.Run(fmt.Sprintf("producers=%d", np), func(b *testing.B) {
+			rt, err := New(Config{Policy: PolicyLQH})
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer rt.Close()
+			g := rt.Group("bench", 0.5)
+			opts := benchOpts(g)
+			b.ReportAllocs()
+			b.ResetTimer()
+			done := make(chan struct{})
+			work := make(chan int, np)
+			for p := 0; p < np; p++ {
+				go func() {
+					for n := range work {
+						for i := 0; i < n; i++ {
+							rt.Submit(benchBody, opts...)
+						}
+						done <- struct{}{}
+					}
+				}()
+			}
+			per := b.N / np
+			for p := 0; p < np; p++ {
+				n := per
+				if p == 0 {
+					n += b.N % np
+				}
+				work <- n
+			}
+			for p := 0; p < np; p++ {
+				<-done
+			}
+			close(work)
+			b.StopTimer()
+			rt.Wait(g)
+		})
+	}
+}
+
+// BenchmarkWait measures the taskwait path: submit a small wave, then Wait.
+func BenchmarkWait(b *testing.B) {
+	const wave = 64
+	rt, err := New(Config{Policy: PolicyGTBMaxBuffer})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer rt.Close()
+	g := rt.Group("bench", 0.5)
+	opts := benchOpts(g)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for j := 0; j < wave; j++ {
+			rt.Submit(benchBody, opts...)
+		}
+		rt.Wait(g)
+	}
+}
+
+// TestSubmitAllocs asserts the steady-state heap cost of one submitted,
+// executed task stays at or below one allocation per task.
+func TestSubmitAllocs(t *testing.T) {
+	if testing.Short() {
+		t.Skip("alloc accounting is noisy under -short race runs")
+	}
+	kinds := []PolicyKind{PolicyAccurate, PolicyGTB, PolicyGTBMaxBuffer, PolicyLQH, PolicyPerforation}
+	for _, kind := range kinds {
+		t.Run(kind.String(), func(t *testing.T) {
+			rt, err := New(Config{Workers: 1, Policy: kind})
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer rt.Close()
+			g := rt.Group("alloc", 0.5)
+			opts := benchOpts(g)
+			// Warm the task pool and code paths with at least as many
+			// live tasks as the measured run will buffer (GTB(max)
+			// holds all of them until taskwait).
+			for i := 0; i < 4000; i++ {
+				rt.Submit(benchBody, opts...)
+			}
+			rt.Wait(g)
+			avg := testing.AllocsPerRun(2000, func() {
+				rt.Submit(benchBody, opts...)
+			})
+			rt.Wait(g)
+			if avg > 1.0 {
+				t.Errorf("%v: %.2f allocs per submitted task, want <= 1", kind, avg)
+			}
+		})
+	}
+}

@@ -4,8 +4,33 @@ import "reflect"
 
 // TaskOption configures a task at Submit time. The options mirror the
 // clauses of the paper's #pragma omp task directive: label, significant,
-// approxfun, in and out.
+// approxfun, in and out. Options write through the *Task they are handed;
+// they must not retain it — tasks are pool-recycled after completion.
 type TaskOption func(*Task)
+
+// TaskSpec describes one task for Runtime.SubmitBatch: the struct-shaped
+// equivalent of Submit's functional options, so a batch of fine-grained
+// tasks can be submitted without per-task closure or option-slice overhead.
+// The zero value of the cost fields means "measure execution time"; set
+// HasCost to declare nominal costs as WithCost would (CostApprox 0 then
+// means the approximation is a drop).
+type TaskSpec struct {
+	// Fn is the accurate task body (required).
+	Fn func()
+	// Approx is the optional approximate body (the approxfun clause).
+	Approx func()
+	// Significance in [0,1], clamped like WithSignificance. The zero
+	// value means fully significant (1.0), mirroring Submit without a
+	// WithSignificance option — so a plain work batch runs accurately
+	// rather than being silently skipped. To request the special
+	// always-approximate significance 0.0, set any negative value.
+	Significance float64
+	// HasCost declares CostAccurate/CostApprox as the task's nominal
+	// costs (see WithCost); when false, execution time is measured.
+	HasCost      bool
+	CostAccurate float64
+	CostApprox   float64
+}
 
 // WithLabel assigns the task to a group (the label clause).
 func WithLabel(g *Group) TaskOption {

@@ -2,7 +2,7 @@ package sig
 
 import (
 	"math"
-	"sort"
+	"sync/atomic"
 )
 
 // PolicyKind selects one of the built-in accuracy policies.
@@ -78,23 +78,38 @@ const (
 // Policy decides, per task, whether to run the accurate or the approximate
 // version, from the task's significance and its group's target ratio. One
 // policy instance serves one group. Submit and Flush are serialized by the
-// group lock; WorkerDecide may be called concurrently by different workers
-// (with distinct worker ids) and must only touch per-worker state.
+// group lock unless the policy implements LocklessSubmitter; WorkerDecide
+// may be called concurrently by different workers (with distinct worker
+// ids) and must only touch per-worker state.
 //
 // Custom policies plug in through Config.NewPolicy without touching the
-// scheduler: a policy only annotates tasks with a Decision.
+// scheduler: a policy only annotates tasks with a Decision. A policy must
+// hand every task back exactly once across Submit and Flush — completed
+// tasks are recycled by the runtime, so retaining a returned *Task is an
+// error.
 type Policy interface {
 	// Name identifies the policy in reports.
 	Name() string
-	// Submit offers a newly submitted task. The policy either decides
-	// tasks now — returning every task that became ready, in dispatch
-	// order — or buffers the task and returns nil.
-	Submit(t *Task) []*Task
+	// Submit offers a newly submitted task. A policy that decides the
+	// task immediately returns it as ready (the allocation-free fast
+	// path); a policy that buffers returns (nil, nil) until a window
+	// fills, then returns the decided window as batch in dispatch order.
+	// ready and batch are never both non-empty for built-in policies, but
+	// callers must handle both.
+	Submit(t *Task) (ready *Task, batch []*Task)
 	// Flush decides all buffered tasks; called at taskwait and Close.
 	Flush() []*Task
 	// WorkerDecide resolves a task the policy emitted with
 	// DecideAtWorker; worker identifies the calling worker goroutine.
 	WorkerDecide(worker int, t *Task) Decision
+}
+
+// LocklessSubmitter marks a Policy whose Submit and Flush need no external
+// serialization (they are either stateless or synchronize internally). The
+// runtime skips the per-group policy lock on the submit path for such
+// policies, which keeps independent submitters contention-free.
+type LocklessSubmitter interface {
+	LocklessSubmit()
 }
 
 // newPolicy builds the built-in policy selected by cfg for group g.
@@ -127,9 +142,11 @@ type accuratePolicy struct{}
 
 func (accuratePolicy) Name() string { return PolicyAccurate.String() }
 
-func (accuratePolicy) Submit(t *Task) []*Task {
+func (accuratePolicy) LocklessSubmit() {}
+
+func (accuratePolicy) Submit(t *Task) (*Task, []*Task) {
 	t.Decision = DecideAccurate
-	return []*Task{t}
+	return t, nil
 }
 
 func (accuratePolicy) Flush() []*Task { return nil }
@@ -138,23 +155,27 @@ func (accuratePolicy) WorkerDecide(int, *Task) Decision { return DecideAccurate 
 
 // perforationPolicy drops a significance-blind fraction of tasks using an
 // error-diffusion accumulator, so any prefix of the stream satisfies the
-// ratio within one task.
+// ratio within one task. The accumulator is a 32.32 fixed-point atomic: one
+// fetch-add per task, no lock, and a task runs accurately exactly when the
+// addition carries into the integer half.
 type perforationPolicy struct {
 	g   *Group
-	acc float64
+	acc atomic.Uint64
 }
 
 func (p *perforationPolicy) Name() string { return PolicyPerforation.String() }
 
-func (p *perforationPolicy) Submit(t *Task) []*Task {
-	p.acc += p.g.Ratio()
-	if p.acc >= 1-1e-9 {
-		p.acc -= 1
+func (p *perforationPolicy) LocklessSubmit() {}
+
+func (p *perforationPolicy) Submit(t *Task) (*Task, []*Task) {
+	delta := uint64(math.Round(p.g.Ratio() * (1 << 32)))
+	acc := p.acc.Add(delta)
+	if acc>>32 != (acc-delta)>>32 {
 		t.Decision = DecideAccurate
 	} else {
 		t.Decision = DecideDrop
 	}
-	return []*Task{t}
+	return t, nil
 }
 
 func (p *perforationPolicy) Flush() []*Task { return nil }
@@ -168,6 +189,10 @@ type gtbPolicy struct {
 	g      *Group
 	window int
 	buf    []*Task
+	// scratch is the reusable ranking workspace of decide; it only lives
+	// between the entry and exit of one decide call (always under the
+	// group's policy lock).
+	scratch []*Task
 
 	decidedTotal    int64
 	decidedAccurate int64
@@ -180,19 +205,21 @@ func (p *gtbPolicy) Name() string {
 	return PolicyGTB.String()
 }
 
-func (p *gtbPolicy) Submit(t *Task) []*Task {
+func (p *gtbPolicy) Submit(t *Task) (*Task, []*Task) {
 	p.buf = append(p.buf, t)
 	if p.window > 0 && len(p.buf) >= p.window {
-		return p.decide()
+		return nil, p.decide()
 	}
-	return nil
+	return nil, nil
 }
 
 func (p *gtbPolicy) Flush() []*Task { return p.decide() }
 
 // decide ranks the buffered tasks by significance and marks the top share
 // accurate. The accurate quota is computed against the running totals, so
-// per-window rounding errors do not accumulate across windows.
+// per-window rounding errors do not accumulate across windows. Ranking uses
+// an O(n) quickselect over (significance desc, Seq asc) — a strict total
+// order, so the accurate set is identical to what a stable sort would pick.
 func (p *gtbPolicy) decide() []*Task {
 	n := len(p.buf)
 	if n == 0 {
@@ -206,28 +233,95 @@ func (p *gtbPolicy) decide() []*Task {
 	if want > n {
 		want = n
 	}
-	ranked := append([]*Task(nil), p.buf...)
-	sort.SliceStable(ranked, func(i, j int) bool {
-		if ranked[i].Significance != ranked[j].Significance {
-			return ranked[i].Significance > ranked[j].Significance
-		}
-		return ranked[i].Seq < ranked[j].Seq
-	})
-	for i, t := range ranked {
-		if i < want {
-			t.Decision = DecideAccurate
-		} else {
+	switch want {
+	case 0:
+		for _, t := range p.buf {
 			t.Decision = DecideApprox
 		}
+	case n:
+		for _, t := range p.buf {
+			t.Decision = DecideAccurate
+		}
+	default:
+		p.scratch = append(p.scratch[:0], p.buf...)
+		selectTopK(p.scratch, want)
+		for i, t := range p.scratch {
+			if i < want {
+				t.Decision = DecideAccurate
+			} else {
+				t.Decision = DecideApprox
+			}
+			p.scratch[i] = nil // do not pin recycled tasks until next decide
+		}
 	}
-	out := p.buf
-	p.buf = nil
+	// Hand out an exact-size copy and keep the grown buffer array for the
+	// next window: the copy is owned by the dispatcher (which may still be
+	// enqueueing it while new submissions buffer), while p.buf never pays
+	// append growth again in steady state.
+	out := make([]*Task, n)
+	copy(out, p.buf)
+	p.buf = p.buf[:0]
 	p.decidedTotal += int64(n)
 	p.decidedAccurate += int64(want)
 	return out // dispatch in submission order
 }
 
 func (p *gtbPolicy) WorkerDecide(int, *Task) Decision { return DecideAccurate }
+
+// taskBefore is the GTB ranking order: higher significance first, then lower
+// sequence number — a strict total order (Seq is unique), which makes the
+// top-k set deterministic.
+func taskBefore(a, b *Task) bool {
+	if a.Significance != b.Significance {
+		return a.Significance > b.Significance
+	}
+	return a.Seq < b.Seq
+}
+
+// selectTopK partially orders s so that the k top-ranked tasks (per
+// taskBefore) occupy s[:k], in O(len(s)) expected time. Only the membership
+// of s[:k] is defined, not its internal order.
+func selectTopK(s []*Task, k int) {
+	lo, hi := 0, len(s)-1
+	for lo < hi {
+		p := partitionTasks(s, lo, hi)
+		switch {
+		case p == k:
+			return
+		case p < k:
+			lo = p + 1
+		default:
+			hi = p - 1
+		}
+	}
+}
+
+// partitionTasks partitions s[lo:hi+1] around a median-of-three pivot and
+// returns the pivot's final index: everything before it ranks higher
+// (taskBefore), everything after ranks lower.
+func partitionTasks(s []*Task, lo, hi int) int {
+	mid := lo + (hi-lo)/2
+	if taskBefore(s[mid], s[lo]) {
+		s[lo], s[mid] = s[mid], s[lo]
+	}
+	if taskBefore(s[hi], s[lo]) {
+		s[lo], s[hi] = s[hi], s[lo]
+	}
+	if taskBefore(s[hi], s[mid]) {
+		s[mid], s[hi] = s[hi], s[mid]
+	}
+	pivot := s[mid]
+	s[mid], s[hi] = s[hi], s[mid] // park pivot at hi
+	i := lo
+	for j := lo; j < hi; j++ {
+		if taskBefore(s[j], pivot) {
+			s[i], s[j] = s[j], s[i]
+			i++
+		}
+	}
+	s[i], s[hi] = s[hi], s[i]
+	return i
+}
 
 // lqhPolicy is Local Queue History: tasks are forwarded to workers
 // undecided, and each worker classifies them against a private ring of
@@ -260,9 +354,11 @@ func newLQHPolicy(g *Group, workers, history int) *lqhPolicy {
 
 func (p *lqhPolicy) Name() string { return PolicyLQH.String() }
 
-func (p *lqhPolicy) Submit(t *Task) []*Task {
+func (p *lqhPolicy) LocklessSubmit() {}
+
+func (p *lqhPolicy) Submit(t *Task) (*Task, []*Task) {
 	t.Decision = DecideAtWorker
-	return []*Task{t}
+	return t, nil
 }
 
 func (p *lqhPolicy) Flush() []*Task { return nil }

@@ -1,0 +1,92 @@
+package sig
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// Task recycling. Scalar Submit draws one *Task at a time from a sync.Pool;
+// SubmitBatch carves tasks out of slabs — contiguous arrays recycled as a
+// unit once every task of the slab has completed — so the steady-state heap
+// cost of a task is zero on both paths.
+
+// slabSize is how many tasks one batch slab holds.
+const slabSize = 64
+
+// taskSlab is a contiguous block of tasks handed out by SubmitBatch. n is
+// the number of tasks in use this round; done counts completions, and the
+// slab returns to the pool when the last task of the round finishes.
+type taskSlab struct {
+	tasks [slabSize]Task
+	n     int32
+	done  atomic.Int32
+}
+
+// taskPools owns both recycling paths of a Runtime.
+type taskPools struct {
+	single   sync.Pool // of *Task
+	slabs    sync.Pool // of *taskSlab
+	dispatch sync.Pool // of *[]*Task, SubmitBatch dispatch scratch
+}
+
+// getDispatch returns an empty dispatch scratch slice.
+func (p *taskPools) getDispatch() *[]*Task {
+	if v := p.dispatch.Get(); v != nil {
+		return v.(*[]*Task)
+	}
+	s := make([]*Task, 0, 4*slabSize)
+	return &s
+}
+
+// putDispatch recycles a dispatch scratch after clearing its task pointers.
+func (p *taskPools) putDispatch(s *[]*Task) {
+	clear(*s)
+	*s = (*s)[:0]
+	p.dispatch.Put(s)
+}
+
+// get returns a reset single task ready for Submit to fill.
+func (p *taskPools) get() *Task {
+	if v := p.single.Get(); v != nil {
+		return v.(*Task)
+	}
+	return &Task{}
+}
+
+// getSlab returns a slab ready to hand out n tasks.
+func (p *taskPools) getSlab(n int) *taskSlab {
+	var s *taskSlab
+	if v := p.slabs.Get(); v != nil {
+		s = v.(*taskSlab)
+	} else {
+		s = new(taskSlab)
+	}
+	s.n = int32(n)
+	s.done.Store(0)
+	return s
+}
+
+// release recycles a completed task onto whichever path produced it. The
+// task must not be touched afterwards.
+func (p *taskPools) release(t *Task) {
+	if s := t.slab; s != nil {
+		// Read n BEFORE publishing our completion: until our Add lands
+		// the slab cannot reach done==n, so it cannot be recycled and
+		// n is stable. Reading it after the Add would race with the
+		// slab's next user re-initializing it.
+		n := s.n
+		if s.done.Add(1) == n {
+			p.slabs.Put(s)
+		}
+		return
+	}
+	t.reset()
+	p.single.Put(t)
+}
+
+// reset clears a task for reuse, keeping the footprint slices' capacity.
+func (t *Task) reset() {
+	ins, outs := t.ins[:0], t.outs[:0]
+	*t = Task{}
+	t.ins, t.outs = ins, outs
+}

@@ -13,6 +13,12 @@
 // account their busy time and a configurable EnergyModel converts busy/idle
 // time into Joules (see energy.go). Energy reports remain valid and stable
 // after Close.
+//
+// The scheduler is built for submit throughput: tasks are recycled through
+// pools (see pool.go), the submit path takes no runtime-wide lock, and
+// decided tasks are striped across per-worker bounded queues with work
+// stealing (see queue.go). Policies that need no serialization declare it
+// via LocklessSubmitter and bypass the per-group lock entirely.
 package sig
 
 import (
@@ -35,6 +41,10 @@ type Config struct {
 	// LQHHistory is the per-worker history length of PolicyLQH
 	// (0 means DefaultLQHHistory).
 	LQHHistory int
+	// QueueCapacity is the per-worker run-queue capacity, rounded up to a
+	// power of two (0 means DefaultQueueCapacity). Submit applies
+	// backpressure once every queue is full.
+	QueueCapacity int
 	// Energy overrides the modeled power figures; zero fields take defaults.
 	Energy EnergyModel
 	// RecordDecisions makes each group keep an ordered log of
@@ -42,7 +52,11 @@ type Config struct {
 	// (Table 2). Off by default: it costs memory per task.
 	RecordDecisions bool
 	// NewPolicy, when non-nil, overrides Policy with a custom policy
-	// constructor, called once per task group.
+	// constructor, called once per task group. Custom policies must hand
+	// each task back exactly once across Submit/Flush: completed tasks are
+	// recycled, so a policy must not retain a *Task it has returned. A
+	// policy whose Submit needs no serialization can implement
+	// LocklessSubmitter to skip the per-group lock.
 	NewPolicy func(g *Group) Policy
 }
 
@@ -70,6 +84,7 @@ type Task struct {
 	costAcc    float64
 	costApprox float64
 	wave       int
+	slab       *taskSlab
 }
 
 // HasApprox reports whether the task carries an approximate body. Tasks
@@ -87,13 +102,22 @@ type Group struct {
 	name  string
 	ratio atomic.Uint64 // math.Float64bits of the requested accurate ratio
 
-	mu     sync.Mutex // guards policy and decision log
-	policy Policy
-	log    []DecisionRecord
-	wave   atomic.Int64 // taskwait epoch counter
+	// mu serializes the policy for buffering policies; groups whose policy
+	// implements LocklessSubmitter never take it on the submit path.
+	mu        sync.Mutex
+	policy    Policy
+	needsLock bool
 
+	logMu sync.Mutex
+	log   []DecisionRecord
+	wave  atomic.Int64 // taskwait epoch counter
+
+	// pending counts dispatched-but-unfinished tasks. The counter is
+	// atomic so the submit and completion paths stay lock-free; Wait falls
+	// back to a condition variable only when it actually has to block.
+	pending atomic.Int64
+	waiters atomic.Int32
 	pendMu  sync.Mutex
-	pending int
 	pendC   *sync.Cond
 
 	submitted   atomic.Int64
@@ -112,26 +136,48 @@ func (g *Group) Ratio() float64 { return math.Float64frombits(g.ratio.Load()) }
 
 func (g *Group) setRatio(r float64) { g.ratio.Store(math.Float64bits(clamp01(r))) }
 
+// clock is one worker's busy-time account, padded to its own cache line so
+// per-task accounting never false-shares between workers.
+type clock struct {
+	busyNS atomic.Int64
+	_      [56]byte
+}
+
+// inflightShards stripes the in-flight Submit counter (sharded by sequence
+// number) so concurrent submitters do not serialize on one cache line. It is
+// only summed by Close, which must not tear down the scheduler while a
+// Submit that passed the closed check is still enqueueing.
+const inflightShards = 16
+
+type inflightShard struct {
+	n atomic.Int64
+	_ [56]byte
+}
+
 // Runtime is a significance-aware task scheduler. Create one with New, submit
-// tasks with Submit, synchronize with Wait, and release it with Close.
-// Submit and Wait must be called from the submitting goroutine(s), not from
-// task bodies.
+// tasks with Submit or SubmitBatch, synchronize with Wait, and release it
+// with Close. Submit and Wait must be called from the submitting
+// goroutine(s), not from task bodies.
 type Runtime struct {
 	cfg     Config
 	workers int
 	energy  EnergyModel
 
-	queue chan *Task
+	sched *sched
+	pools taskPools
 	wg    sync.WaitGroup
 
-	mu     sync.Mutex
+	mu     sync.Mutex // guards groups/order/frozen; never on the submit path
 	groups map[string]*Group
 	order  []*Group
-	closed bool
 	frozen *Report
 
+	closed   atomic.Bool
+	def      atomic.Pointer[Group]
+	inflight [inflightShards]inflightShard
+
 	start  time.Time
-	busyNS []int64 // per-worker busy nanoseconds, updated atomically
+	clocks []clock
 	seq    atomic.Uint64
 }
 
@@ -143,6 +189,9 @@ func New(cfg Config) (*Runtime, error) {
 	if cfg.GTBWindow < 0 || cfg.LQHHistory < 0 {
 		return nil, fmt.Errorf("sig: negative policy parameter")
 	}
+	if cfg.QueueCapacity < 0 {
+		return nil, fmt.Errorf("sig: negative queue capacity %d", cfg.QueueCapacity)
+	}
 	if cfg.NewPolicy == nil && !cfg.Policy.valid() {
 		return nil, fmt.Errorf("sig: unknown policy kind %d", cfg.Policy)
 	}
@@ -150,14 +199,18 @@ func New(cfg Config) (*Runtime, error) {
 	if workers == 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
+	queueCap := cfg.QueueCapacity
+	if queueCap == 0 {
+		queueCap = DefaultQueueCapacity
+	}
 	rt := &Runtime{
 		cfg:     cfg,
 		workers: workers,
 		energy:  cfg.Energy.withDefaults(),
-		queue:   make(chan *Task, 64*workers),
+		sched:   newSched(workers, queueCap),
 		groups:  make(map[string]*Group),
 		start:   time.Now(),
-		busyNS:  make([]int64, workers),
+		clocks:  make([]clock, workers),
 	}
 	rt.wg.Add(workers)
 	for i := 0; i < workers; i++ {
@@ -192,8 +245,13 @@ func (rt *Runtime) getOrCreateGroup(name string, ratio float64) (*Group, bool) {
 	g.pendC = sync.NewCond(&g.pendMu)
 	g.setRatio(ratio)
 	g.policy = rt.newPolicy(g)
+	_, lockless := g.policy.(LocklessSubmitter)
+	g.needsLock = !lockless
 	rt.groups[name] = g
 	rt.order = append(rt.order, g)
+	if name == "" {
+		rt.def.Store(g)
+	}
 	return g, false
 }
 
@@ -206,10 +264,28 @@ func (rt *Runtime) newPolicy(g *Group) Policy {
 
 // defaultGroup is used by tasks submitted without WithLabel. It is created
 // with ratio 1.0 on first use but never overrides a ratio the user set via
-// rt.Group("", r).
+// rt.Group("", r). The created group is cached in an atomic pointer so
+// unlabeled submission stays off rt.mu.
 func (rt *Runtime) defaultGroup() *Group {
+	if g := rt.def.Load(); g != nil {
+		return g
+	}
 	g, _ := rt.getOrCreateGroup("", 1.0)
 	return g
+}
+
+// beginSubmit publishes an in-flight submission on a striped counter and
+// checks the closed flag. Close flips the flag first and then waits for the
+// stripes to drain, so every submission that passed this check fully reaches
+// its queue before the scheduler shuts down.
+func (rt *Runtime) beginSubmit(seq uint64) *inflightShard {
+	s := &rt.inflight[seq%inflightShards]
+	s.n.Add(1)
+	if rt.closed.Load() {
+		s.n.Add(-1)
+		panic("sig: Submit on closed runtime")
+	}
+	return s
 }
 
 // Submit schedules fn as a significance-annotated task. Options attach the
@@ -219,10 +295,14 @@ func (rt *Runtime) Submit(fn func(), opts ...TaskOption) {
 	if fn == nil {
 		panic("sig: Submit with nil task body")
 	}
-	t := &Task{Significance: 1.0, Seq: rt.seq.Add(1), accurate: fn, costAcc: -1, costApprox: -1}
+	t := rt.pools.get()
+	t.Significance = 1.0
+	t.accurate = fn
+	t.costAcc, t.costApprox = -1, -1
 	for _, o := range opts {
 		o(t)
 	}
+	t.Seq = rt.seq.Add(1)
 	if t.group == nil {
 		t.group = rt.defaultGroup()
 	}
@@ -230,74 +310,222 @@ func (rt *Runtime) Submit(fn func(), opts ...TaskOption) {
 	if g.rt != rt {
 		panic("sig: task label belongs to a different runtime")
 	}
-	// rt.mu is held through dispatch so Submit cannot race Close: once
-	// Close marks the runtime closed, every in-flight Submit has fully
-	// entered its group (and will be drained by Close's WaitAll), and
-	// every later Submit panics before touching the queue.
-	rt.mu.Lock()
-	defer rt.mu.Unlock()
-	if rt.closed {
-		panic("sig: Submit on closed runtime")
-	}
+	shard := rt.beginSubmit(t.Seq)
+	defer shard.n.Add(-1)
 
 	g.submitted.Add(1)
 	t.wave = int(g.wave.Load())
-	for _, r := range t.ins {
-		g.inBytes.Add(int64(r.Bytes))
+	if len(t.ins) > 0 || len(t.outs) > 0 {
+		g.addFootprint(t)
 	}
-	for _, r := range t.outs {
-		g.outBytes.Add(int64(r.Bytes))
-	}
-	g.enter()
 
 	// The special significance values bypass the policy (§2 of the paper):
 	// 1.0 is unconditionally accurate, 0.0 unconditionally approximate.
 	if t.Significance >= 1.0 {
 		t.Decision = DecideAccurate
+		g.pending.Add(1)
 		rt.dispatch(t)
 		return
 	}
 	if t.Significance <= 0.0 {
 		t.Decision = DecideApprox
+		g.pending.Add(1)
 		rt.dispatch(t)
 		return
 	}
 
-	g.mu.Lock()
-	ready := g.policy.Submit(t)
-	g.mu.Unlock()
-	for _, r := range ready {
-		rt.dispatch(r)
+	var ready *Task
+	var batch []*Task
+	if g.needsLock {
+		// The pending count for everything the policy hands back is
+		// published while still holding the policy lock: a concurrent
+		// Wait that flushes after us must either see these tasks in the
+		// buffer or see them pending — never neither.
+		g.mu.Lock()
+		ready, batch = g.policy.Submit(t)
+		if n := pendingDelta(ready, batch); n > 0 {
+			g.pending.Add(n)
+		}
+		g.mu.Unlock()
+	} else {
+		ready, batch = g.policy.Submit(t)
+		if n := pendingDelta(ready, batch); n > 0 {
+			g.pending.Add(n)
+		}
 	}
+	if ready != nil {
+		rt.dispatch(ready)
+	}
+	if len(batch) > 0 {
+		rt.dispatchBatch(batch)
+	}
+}
+
+// pendingDelta counts the tasks a policy handed back for dispatch.
+func pendingDelta(ready *Task, batch []*Task) int64 {
+	n := int64(len(batch))
+	if ready != nil {
+		n++
+	}
+	return n
+}
+
+// TaskSpec describes one task for SubmitBatch; see options.go.
+
+// SubmitBatch schedules every spec as a task of group g (nil means the
+// default group). It is semantically a loop of Submit calls but amortizes
+// the per-task scheduling costs — sequence allocation, policy locking,
+// queue striping and task allocation (slab-recycled, see pool.go) — across
+// the batch, which makes it the preferred path for fine-grained task
+// streams.
+func (rt *Runtime) SubmitBatch(g *Group, specs []TaskSpec) {
+	if len(specs) == 0 {
+		return
+	}
+	if g == nil {
+		g = rt.defaultGroup()
+	}
+	if g.rt != rt {
+		panic("sig: task label belongs to a different runtime")
+	}
+	base := rt.seq.Add(uint64(len(specs))) - uint64(len(specs))
+	shard := rt.beginSubmit(base)
+	defer shard.n.Add(-1)
+
+	g.submitted.Add(int64(len(specs)))
+	wave := int(g.wave.Load())
+
+	dispatchP := rt.pools.getDispatch() // decided tasks accumulated across the batch
+	defer rt.pools.putDispatch(dispatchP)
+	dispatch := *dispatchP
+	for off := 0; off < len(specs); {
+		n := len(specs) - off
+		if n > slabSize {
+			n = slabSize
+		}
+		slab := rt.pools.getSlab(n)
+		chunk := specs[off : off+n]
+		for i := range chunk {
+			sp := &chunk[i]
+			if sp.Fn == nil {
+				panic("sig: SubmitBatch with nil task body")
+			}
+			t := &slab.tasks[i]
+			// Zero value = fully significant (Submit's default);
+			// negative = the special always-approximate 0.0.
+			switch {
+			case sp.Significance == 0:
+				t.Significance = 1.0
+			case sp.Significance < 0:
+				t.Significance = 0.0
+			default:
+				t.Significance = clamp01(sp.Significance)
+			}
+			t.Seq = base + uint64(off+i) + 1
+			t.Decision = decideNone
+			t.group = g
+			t.accurate = sp.Fn
+			t.approx = sp.Approx
+			t.ins, t.outs = nil, nil
+			t.costAcc, t.costApprox = -1, -1
+			if sp.HasCost {
+				t.costAcc, t.costApprox = sp.CostAccurate, sp.CostApprox
+			}
+			t.wave = wave
+			t.slab = slab
+		}
+		var chunkPending int64
+		if g.needsLock {
+			g.mu.Lock()
+		}
+		for i := range chunk {
+			t := &slab.tasks[i]
+			if t.Significance >= 1.0 {
+				t.Decision = DecideAccurate
+				chunkPending++
+				dispatch = append(dispatch, t)
+				continue
+			}
+			if t.Significance <= 0.0 {
+				t.Decision = DecideApprox
+				chunkPending++
+				dispatch = append(dispatch, t)
+				continue
+			}
+			ready, batch := g.policy.Submit(t)
+			if ready != nil {
+				chunkPending++
+				dispatch = append(dispatch, ready)
+			}
+			if len(batch) > 0 {
+				chunkPending += int64(len(batch))
+				dispatch = append(dispatch, batch...)
+			}
+		}
+		// As in Submit, publish the pending delta before the policy lock
+		// is released so a concurrent Wait cannot miss flushed tasks.
+		if chunkPending > 0 {
+			g.pending.Add(chunkPending)
+		}
+		if g.needsLock {
+			g.mu.Unlock()
+		}
+		off += n
+	}
+	if len(dispatch) > 0 {
+		rt.dispatchBatch(dispatch)
+	}
+	*dispatchP = dispatch // recycle the grown scratch array
 }
 
 // dispatch routes a decided task: dropped tasks complete immediately, the
-// rest go to the worker pool.
+// rest go to a worker queue. No lock is held while enqueueing.
 func (rt *Runtime) dispatch(t *Task) {
 	if t.Decision == DecideDrop {
-		t.group.dropped.Add(1)
-		t.group.record(t, false)
-		t.group.leave()
+		rt.completeDrop(t)
 		return
 	}
-	rt.queue <- t
+	rt.sched.enqueue(t)
 }
 
-func (rt *Runtime) worker(id int) {
-	defer rt.wg.Done()
-	for t := range rt.queue {
-		rt.execute(id, t)
+// dispatchBatch routes a decided batch in order, striping the enqueued runs
+// across worker queues with one lock acquisition per run.
+func (rt *Runtime) dispatchBatch(ts []*Task) {
+	// Split around dropped tasks so the queued runs stay contiguous.
+	runStart := -1
+	for i, t := range ts {
+		if t.Decision == DecideDrop {
+			if runStart >= 0 {
+				rt.sched.enqueueBatch(ts[runStart:i])
+				runStart = -1
+			}
+			rt.completeDrop(t)
+			continue
+		}
+		if runStart < 0 {
+			runStart = i
+		}
 	}
+	if runStart >= 0 {
+		rt.sched.enqueueBatch(ts[runStart:])
+	}
+}
+
+// completeDrop finishes a task dropped at decision time without touching a
+// queue.
+func (rt *Runtime) completeDrop(t *Task) {
+	g := t.group
+	g.dropped.Add(1)
+	g.record(t, false)
+	g.leave()
+	rt.pools.release(t)
 }
 
 func (rt *Runtime) execute(id int, t *Task) {
 	g := t.group
 	d := t.Decision
 	if d == DecideAtWorker {
-		g.mu.Lock()
-		p := g.policy
-		g.mu.Unlock()
-		d = p.WorkerDecide(id, t)
+		d = g.policy.WorkerDecide(id, t)
 		t.Decision = d
 	}
 	switch d {
@@ -309,7 +537,7 @@ func (rt *Runtime) execute(id int, t *Task) {
 		if t.approx != nil {
 			rt.runBody(id, t.approx, t.costApprox)
 		} else if t.costApprox > 0 {
-			atomic.AddInt64(&rt.busyNS[id], int64(t.costApprox))
+			rt.clocks[id].busyNS.Add(int64(t.costApprox))
 		}
 		g.approximate.Add(1)
 		g.record(t, false)
@@ -320,6 +548,7 @@ func (rt *Runtime) execute(id int, t *Task) {
 		panic(fmt.Sprintf("sig: task executed with undecided decision %d", d))
 	}
 	g.leave()
+	rt.pools.release(t)
 }
 
 // runBody executes one task body and charges its work to the worker's busy
@@ -328,26 +557,44 @@ func (rt *Runtime) execute(id int, t *Task) {
 func (rt *Runtime) runBody(id int, body func(), cost float64) {
 	if cost >= 0 {
 		body()
-		atomic.AddInt64(&rt.busyNS[id], int64(cost))
+		rt.clocks[id].busyNS.Add(int64(cost))
 		return
 	}
 	start := time.Now()
 	body()
-	atomic.AddInt64(&rt.busyNS[id], int64(time.Since(start)))
+	rt.clocks[id].busyNS.Add(int64(time.Since(start)))
 }
 
-func (g *Group) enter() {
-	g.pendMu.Lock()
-	g.pending++
-	g.pendMu.Unlock()
-}
-
-func (g *Group) leave() {
-	g.pendMu.Lock()
-	g.pending--
-	if g.pending == 0 {
-		g.pendC.Broadcast()
+func (g *Group) addFootprint(t *Task) {
+	for _, r := range t.ins {
+		g.inBytes.Add(int64(r.Bytes))
 	}
+	for _, r := range t.outs {
+		g.outBytes.Add(int64(r.Bytes))
+	}
+}
+
+// leave retires one pending task. The fast path is a single atomic; the
+// condition variable is only touched when a waiter announced itself.
+func (g *Group) leave() {
+	if g.pending.Add(-1) == 0 && g.waiters.Load() > 0 {
+		g.pendMu.Lock()
+		g.pendC.Broadcast()
+		g.pendMu.Unlock()
+	}
+}
+
+// waitIdle blocks until the group's pending count reaches zero.
+func (g *Group) waitIdle() {
+	if g.pending.Load() == 0 {
+		return
+	}
+	g.pendMu.Lock()
+	g.waiters.Add(1)
+	for g.pending.Load() > 0 {
+		g.pendC.Wait()
+	}
+	g.waiters.Add(-1)
 	g.pendMu.Unlock()
 }
 
@@ -355,9 +602,9 @@ func (g *Group) record(t *Task, accurate bool) {
 	if !g.rt.cfg.RecordDecisions {
 		return
 	}
-	g.mu.Lock()
+	g.logMu.Lock()
 	g.log = append(g.log, DecisionRecord{Significance: t.Significance, Accurate: accurate, Wave: t.wave})
-	g.mu.Unlock()
+	g.logMu.Unlock()
 }
 
 // providedRatio is the achieved accurate fraction over all decided tasks.
@@ -379,15 +626,14 @@ func (rt *Runtime) Wait(g *Group) float64 {
 	}
 	g.mu.Lock()
 	ready := g.policy.Flush()
+	if len(ready) > 0 {
+		g.pending.Add(int64(len(ready)))
+	}
 	g.mu.Unlock()
-	for _, t := range ready {
-		rt.dispatch(t)
+	if len(ready) > 0 {
+		rt.dispatchBatch(ready)
 	}
-	g.pendMu.Lock()
-	for g.pending > 0 {
-		g.pendC.Wait()
-	}
-	g.pendMu.Unlock()
+	g.waitIdle()
 	g.wave.Add(1)
 	return g.providedRatio()
 }
@@ -407,16 +653,29 @@ func (rt *Runtime) WaitAll() {
 // additionally guaranteed to be stable (repeated calls return the identical
 // report), which makes `rt.Close(); rep := rt.Energy()` a supported idiom.
 func (rt *Runtime) Close() error {
-	rt.mu.Lock()
-	if rt.closed {
-		rt.mu.Unlock()
+	if rt.closed.Swap(true) {
 		return nil
 	}
-	rt.closed = true
-	rt.mu.Unlock()
-
+	// Wait out submissions that passed the closed check before the flag
+	// flipped; afterwards no new task can reach the scheduler. Yield at
+	// first, then sleep: an in-flight Submit can stay backpressured for a
+	// while and this cold path must not burn a core meanwhile.
+	for spin := 0; ; spin++ {
+		var n int64
+		for i := range rt.inflight {
+			n += rt.inflight[i].n.Load()
+		}
+		if n == 0 {
+			break
+		}
+		if spin < 64 {
+			runtime.Gosched()
+		} else {
+			time.Sleep(100 * time.Microsecond)
+		}
+	}
 	rt.WaitAll()
-	close(rt.queue)
+	close(rt.sched.done)
 	rt.wg.Wait()
 
 	rep := rt.report(time.Since(rt.start))
@@ -441,8 +700,8 @@ func (rt *Runtime) Energy() Report {
 
 func (rt *Runtime) report(wall time.Duration) Report {
 	var busy int64
-	for i := range rt.busyNS {
-		busy += atomic.LoadInt64(&rt.busyNS[i])
+	for i := range rt.clocks {
+		busy += rt.clocks[i].busyNS.Load()
 	}
 	return rt.energy.report(wall, time.Duration(busy), rt.workers)
 }
@@ -466,9 +725,9 @@ func (rt *Runtime) Stats() Stats {
 			OutBytes:       g.outBytes.Load(),
 		}
 		if rt.cfg.RecordDecisions {
-			g.mu.Lock()
+			g.logMu.Lock()
 			gs.Decisions = append([]DecisionRecord(nil), g.log...)
-			g.mu.Unlock()
+			g.logMu.Unlock()
 		}
 		st.Groups = append(st.Groups, gs)
 		st.Submitted += gs.Submitted
