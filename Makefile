@@ -1,0 +1,22 @@
+GO ?= go
+
+.PHONY: test race bench fuzz bench-adapt
+
+test:
+	$(GO) build ./... && $(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+bench:
+	$(GO) test ./sig -run xxx -bench . -benchtime 1s
+
+# Bounded native-fuzz smoke over the policy invariants (same budget CI uses;
+# minimization is capped so the budget is spent fuzzing).
+fuzz:
+	$(GO) test ./sig -run '^$$' -fuzz FuzzPolicyDecisions -fuzztime 20s -fuzzminimizetime 1x
+
+# Run the adaptive-controller study and append its convergence numbers to
+# BENCH_sig.json under the "adaptive" key.
+bench-adapt:
+	$(GO) run ./cmd/sigbench adaptive -scale 0.1 -append-bench BENCH_sig.json

@@ -11,6 +11,7 @@
 //	sigbench fig4   [-scale 0.25] [-workers 16] [-reps 3]
 //	sigbench table2 [-scale 0.25] [-workers 16]
 //	sigbench ablate [-scale 0.25] [-workers 16]
+//	sigbench adaptive [-scale 0.25] [-setpoint 16] [-waves 24] [-append-bench BENCH_sig.json]
 //	sigbench all    [-scale 0.25] [-workers 16]
 //
 // Scale 1.0 reproduces evaluation-size problems; smaller scales shrink the
@@ -18,6 +19,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -39,6 +41,10 @@ func main() {
 		reps    = fs.Int("reps", 1, "repetitions to average over")
 		benches = fs.String("bench", "", "comma-separated benchmark subset (default all)")
 		out     = fs.String("out", "", "output PGM path for fig1/fig3")
+
+		setpoint = fs.Float64("setpoint", 0, "adaptive: PSNR setpoint in dB (0 = default 16)")
+		waves    = fs.Int("waves", 0, "adaptive: sobel stream length in waves (0 = default 24)")
+		appendTo = fs.String("append-bench", "", "adaptive: merge convergence numbers into this BENCH json file")
 	)
 	if err := fs.Parse(os.Args[2:]); err != nil {
 		os.Exit(2)
@@ -63,6 +69,8 @@ func main() {
 		err = runTable2(opt)
 	case "ablate":
 		err = runAblations(opt)
+	case "adaptive":
+		err = runAdaptive(*scale, *workers, *setpoint, *waves, *appendTo)
 	case "all":
 		harness.Table1(os.Stdout)
 		fmt.Println()
@@ -84,7 +92,11 @@ func main() {
 			break
 		}
 		fmt.Println()
-		err = runAblations(opt)
+		if err = runAblations(opt); err != nil {
+			break
+		}
+		fmt.Println()
+		err = runAdaptive(*scale, *workers, *setpoint, *waves, "")
 	default:
 		usage()
 		os.Exit(2)
@@ -96,7 +108,7 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: sigbench {table1|fig1|fig2|fig3|fig4|table2|ablate|all} [flags]")
+	fmt.Fprintln(os.Stderr, "usage: sigbench {table1|fig1|fig2|fig3|fig4|table2|ablate|adaptive|all} [flags]")
 	fmt.Fprintln(os.Stderr, "run 'sigbench <cmd> -h' for per-command flags")
 }
 
@@ -142,6 +154,58 @@ func runTable2(opt harness.Options) error {
 	}
 	harness.PrintTable2(os.Stdout, rows)
 	return nil
+}
+
+// runAdaptive executes the adaptive-controller study, prints it, and (when
+// appendTo names a BENCH json file) merges the convergence summary into it
+// under the "adaptive" key.
+func runAdaptive(scale float64, workers int, setpoint float64, waves int, appendTo string) error {
+	res, err := harness.AdaptiveStudy(harness.AdaptiveConfig{
+		Scale: scale, Workers: workers, Setpoint: setpoint, Waves: waves,
+	})
+	if err != nil {
+		return err
+	}
+	harness.PrintAdaptiveStudy(os.Stdout, res)
+	if appendTo == "" {
+		return nil
+	}
+	return appendBench(appendTo, res)
+}
+
+// appendBench round-trips the BENCH json file through a generic map and
+// sets/replaces its "adaptive" entry with the study's convergence numbers.
+func appendBench(path string, res harness.AdaptiveResult) error {
+	doc := map[string]any{}
+	if raw, err := os.ReadFile(path); err == nil {
+		if err := json.Unmarshal(raw, &doc); err != nil {
+			return fmt.Errorf("parsing %s: %w", path, err)
+		}
+	} else if !os.IsNotExist(err) {
+		return err
+	}
+	kmeansFinal := harness.AdaptiveWave{}
+	if n := len(res.KmeansRows); n > 0 {
+		kmeansFinal = res.KmeansRows[n-1]
+	}
+	doc["adaptive"] = map[string]any{
+		"subject":              "sig/adapt controller convergence (harness.AdaptiveStudy)",
+		"setpoint_db":          res.Setpoint,
+		"tolerance":            res.Tolerance,
+		"sobel_oracle_ratio":   []float64{res.Segments[0].OracleRatio, res.Segments[1].OracleRatio},
+		"sobel_converged_in":   []int{res.Segments[0].ConvergedAfter, res.Segments[1].ConvergedAfter},
+		"sobel_steady_ratio":   []float64{res.Segments[0].SteadyRatio, res.Segments[1].SteadyRatio},
+		"sobel_steady_psnr_db": []float64{res.Segments[0].SteadyPSNR, res.Segments[1].SteadyPSNR},
+		"kmeans_budget_j":      res.KmeansBudget,
+		"kmeans_oracle_ratio":  res.KmeansOracleRatio,
+		"kmeans_final_ratio":   kmeansFinal.Provided,
+		"kmeans_final_joules":  kmeansFinal.Joules,
+	}
+	out, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(out, '\n'), 0o644)
 }
 
 func runAblations(opt harness.Options) error {

@@ -81,6 +81,17 @@ func New(p Params) *App {
 // Tasks returns the number of tasks one iteration submits.
 func (a *App) Tasks() int { return (a.p.N + a.p.Chunk - 1) / a.p.Chunk }
 
+// WaveCosts returns the total declared cost units (~1ns each, see
+// sig.WithCost) one Lloyd wave submits when every chunk runs accurately
+// and when every chunk runs approximately. Wave energy is linear between
+// the two in the accurate fraction; the adaptive harness derives its
+// analytic energy budget and oracle ratio from these instead of mirroring
+// the kernel's cost model.
+func (a *App) WaveCosts() (accurate, approx float64) {
+	candidates := 1 + min(approxNeighbors, a.p.K-1)
+	return float64(a.p.N * a.p.K * a.p.D * 3), float64(a.p.N * candidates * a.p.D * 3)
+}
+
 func (a *App) nearest(cent []float64, i int) (int, float64) {
 	best, bestD := 0, math.MaxFloat64
 	for c := 0; c < a.p.K; c++ {
@@ -178,103 +189,148 @@ func (a *App) Sequential() Result {
 	return Result{Iterations: iters, Inertia: a.inertia(cent), Centroids: cent}
 }
 
+// lloydState is the mutable state of a running Lloyd loop: centroids,
+// assignments and the per-chunk partials and significances shared by the
+// batch (Run) and streaming (RunStream) drivers.
+type lloydState struct {
+	cent    []float64
+	assign  []int32
+	counts  [][]int64
+	sums    [][]float64
+	changed []int
+	signif  []float64
+}
+
+func (a *App) newLloydState() *lloydState {
+	p := a.p
+	s := &lloydState{
+		cent:    append([]float64(nil), a.init...),
+		assign:  make([]int32, p.N),
+		counts:  make([][]int64, a.Tasks()),
+		sums:    make([][]float64, a.Tasks()),
+		changed: make([]int, a.Tasks()),
+		signif:  make([]float64, a.Tasks()),
+	}
+	for i := range s.assign {
+		s.assign[i] = -1
+	}
+	for c := range s.counts {
+		s.counts[c] = make([]int64, p.K)
+		s.sums[c] = make([]float64, p.K*p.D)
+		s.signif[c] = 0.9
+	}
+	return s
+}
+
+// runWave executes one Lloyd iteration as one wave on grp: submit a task
+// per chunk, taskwait (through WaitPhase, so observers see the wave),
+// reduce the partials into new centroids and reassign significances. It
+// returns the number of points that moved and the wave's telemetry.
+func (a *App) runWave(rt *sig.Runtime, grp *sig.Group, s *lloydState) (int, sig.WaveStats) {
+	p := a.p
+	nchunks := a.Tasks()
+	neighbors := a.neighborTable(s.cent)
+	candidates := 1 + min(approxNeighbors, p.K-1)
+	for c := 0; c < nchunks; c++ {
+		c := c
+		lo, hi := c*p.Chunk, min((c+1)*p.Chunk, p.N)
+		for i := range s.counts[c] {
+			s.counts[c][i] = 0
+		}
+		for i := range s.sums[c] {
+			s.sums[c][i] = 0
+		}
+		s.changed[c] = 0
+		reassign := func(restricted bool) {
+			ch := 0
+			for i := lo; i < hi; i++ {
+				var k int
+				if restricted && s.assign[i] >= 0 {
+					k, _ = a.nearestAmong(s.cent, i, neighbors[s.assign[i]])
+				} else {
+					k, _ = a.nearest(s.cent, i)
+				}
+				if int32(k) != s.assign[i] {
+					s.assign[i] = int32(k)
+					ch++
+				}
+				s.counts[c][k]++
+				for d := 0; d < p.D; d++ {
+					s.sums[c][k*p.D+d] += a.data[i*p.D+d]
+				}
+			}
+			s.changed[c] = ch
+		}
+		rt.Submit(
+			func() { reassign(false) },
+			sig.WithLabel(grp),
+			sig.WithSignificance(s.signif[c]),
+			sig.WithApprox(func() { reassign(true) }),
+			// Distance computations dominate: all K clusters
+			// per point vs the restricted candidate set.
+			sig.WithCost(float64((hi-lo)*p.K*p.D*3), float64((hi-lo)*candidates*p.D*3)),
+			sig.Out(sig.SliceRange(s.assign, lo, hi)),
+		)
+	}
+	ws := rt.WaitPhase(grp)
+	// Reduce partials into new centroids.
+	total := make([]int64, p.K)
+	vec := make([]float64, p.K*p.D)
+	for c := 0; c < nchunks; c++ {
+		for k := 0; k < p.K; k++ {
+			total[k] += s.counts[c][k]
+			for d := 0; d < p.D; d++ {
+				vec[k*p.D+d] += s.sums[c][k*p.D+d]
+			}
+		}
+	}
+	for k := 0; k < p.K; k++ {
+		if total[k] == 0 {
+			continue // keep the old centroid for empty clusters
+		}
+		for d := 0; d < p.D; d++ {
+			s.cent[k*p.D+d] = vec[k*p.D+d] / float64(total[k])
+		}
+	}
+	// Next-iteration significance: chunks that moved matter more.
+	moved := 0
+	for c := 0; c < nchunks; c++ {
+		moved += s.changed[c]
+		frac := float64(s.changed[c]) / float64(min((c+1)*p.Chunk, p.N)-c*p.Chunk)
+		s.signif[c] = 0.15 + 0.75*math.Min(1, 4*frac)
+	}
+	return moved, ws
+}
+
 // Run executes clustering under the runtime with per-chunk tasks.
 func (a *App) Run(rt *sig.Runtime, ratio float64) Result {
-	p := a.p
-	cent := append([]float64(nil), a.init...)
-	assign := make([]int32, p.N)
-	for i := range assign {
-		assign[i] = -1
-	}
-	nchunks := a.Tasks()
-	counts := make([][]int64, nchunks)
-	sums := make([][]float64, nchunks)
-	changed := make([]int, nchunks)
-	signif := make([]float64, nchunks)
-	for c := range counts {
-		counts[c] = make([]int64, p.K)
-		sums[c] = make([]float64, p.K*p.D)
-		signif[c] = 0.9
-	}
 	grp := rt.Group("kmeans", ratio)
+	s := a.newLloydState()
 	iters := 0
-	for it := 0; it < p.MaxIter; it++ {
+	for it := 0; it < a.p.MaxIter; it++ {
 		iters++
-		neighbors := a.neighborTable(cent)
-		candidates := 1 + min(approxNeighbors, p.K-1)
-		for c := 0; c < nchunks; c++ {
-			c := c
-			lo, hi := c*p.Chunk, min((c+1)*p.Chunk, p.N)
-			for i := range counts[c] {
-				counts[c][i] = 0
-			}
-			for i := range sums[c] {
-				sums[c][i] = 0
-			}
-			changed[c] = 0
-			reassign := func(restricted bool) {
-				ch := 0
-				for i := lo; i < hi; i++ {
-					var k int
-					if restricted && assign[i] >= 0 {
-						k, _ = a.nearestAmong(cent, i, neighbors[assign[i]])
-					} else {
-						k, _ = a.nearest(cent, i)
-					}
-					if int32(k) != assign[i] {
-						assign[i] = int32(k)
-						ch++
-					}
-					counts[c][k]++
-					for d := 0; d < p.D; d++ {
-						sums[c][k*p.D+d] += a.data[i*p.D+d]
-					}
-				}
-				changed[c] = ch
-			}
-			rt.Submit(
-				func() { reassign(false) },
-				sig.WithLabel(grp),
-				sig.WithSignificance(signif[c]),
-				sig.WithApprox(func() { reassign(true) }),
-				// Distance computations dominate: all K clusters
-				// per point vs the restricted candidate set.
-				sig.WithCost(float64((hi-lo)*p.K*p.D*3), float64((hi-lo)*candidates*p.D*3)),
-				sig.Out(sig.SliceRange(assign, lo, hi)),
-			)
-		}
-		rt.Wait(grp)
-		// Reduce partials into new centroids.
-		total := make([]int64, p.K)
-		vec := make([]float64, p.K*p.D)
-		for c := 0; c < nchunks; c++ {
-			for k := 0; k < p.K; k++ {
-				total[k] += counts[c][k]
-				for d := 0; d < p.D; d++ {
-					vec[k*p.D+d] += sums[c][k*p.D+d]
-				}
-			}
-		}
-		for k := 0; k < p.K; k++ {
-			if total[k] == 0 {
-				continue // keep the old centroid for empty clusters
-			}
-			for d := 0; d < p.D; d++ {
-				cent[k*p.D+d] = vec[k*p.D+d] / float64(total[k])
-			}
-		}
-		// Next-iteration significance: chunks that moved matter more.
-		moved := 0
-		for c := 0; c < nchunks; c++ {
-			moved += changed[c]
-			frac := float64(changed[c]) / float64(min((c+1)*p.Chunk, p.N)-c*p.Chunk)
-			signif[c] = 0.15 + 0.75*math.Min(1, 4*frac)
-		}
-		if converged(moved, p.N) {
+		moved, _ := a.runWave(rt, grp, s)
+		if converged(moved, a.p.N) {
 			break
 		}
 	}
-	return Result{Iterations: iters, Inertia: a.inertia(cent), Centroids: cent}
+	return Result{Iterations: iters, Inertia: a.inertia(s.cent), Centroids: s.cent}
+}
+
+// RunStream is the streaming mode: exactly waves Lloyd iterations, each a
+// phased wave on grp. The group is created by the caller so an adaptive
+// controller (attached via sig.Config.Observer) can own its ratio between
+// waves; onWave (optional) receives each wave's telemetry. Unlike Run it
+// never stops early — a streaming service keeps processing its input.
+func (a *App) RunStream(rt *sig.Runtime, grp *sig.Group, waves int, onWave func(ws sig.WaveStats)) Result {
+	s := a.newLloydState()
+	for it := 0; it < waves; it++ {
+		_, ws := a.runWave(rt, grp, s)
+		if onWave != nil {
+			onWave(ws)
+		}
+	}
+	return Result{Iterations: waves, Inertia: a.inertia(s.cent), Centroids: s.cent}
 }
 
 // converged reports whether an iteration moved few enough points (≤0.1%)

@@ -58,6 +58,24 @@ func (a *App) Sequential() *imaging.Image {
 func (a *App) Run(rt *sig.Runtime, ratio float64) *imaging.Image {
 	out := imaging.NewImage(a.p.W, a.p.H)
 	grp := rt.Group("sobel", ratio)
+	a.SubmitFrame(rt, grp, out)
+	rt.Wait(grp)
+	return out
+}
+
+// SetScene replaces the input image with a new synthetic scene — the
+// mid-stream scene change of the streaming/adaptive workload. detail > 0
+// adds horizontal texture the 2-point-gradient approximation cannot
+// reproduce, raising the accurate ratio a given PSNR costs.
+func (a *App) SetScene(seed int64, detail float64) {
+	a.src = imaging.SyntheticDetail(a.p.W, a.p.H, seed, detail)
+}
+
+// SubmitFrame submits one frame's row tasks on grp without waiting: the
+// streaming surface. The caller owns the taskwait (rt.WaitPhase for
+// per-wave telemetry) and the group's ratio — SubmitFrame never resets it,
+// so an adaptive controller can retune the ratio between frames.
+func (a *App) SubmitFrame(rt *sig.Runtime, grp *sig.Group, out *imaging.Image) {
 	for y := 1; y < a.p.H-1; y++ {
 		y := y
 		rt.Submit(
@@ -72,8 +90,6 @@ func (a *App) Run(rt *sig.Runtime, ratio float64) *imaging.Image {
 			sig.Out(sig.SliceRange(out.Pix, y*a.p.W, (y+1)*a.p.W)),
 		)
 	}
-	rt.Wait(grp)
-	return out
 }
 
 // accurateRow applies the full 3×3 Sobel operator to row y.

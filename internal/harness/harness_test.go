@@ -1,6 +1,7 @@
 package harness
 
 import (
+	"math"
 	"path/filepath"
 	"strings"
 	"testing"
@@ -116,6 +117,84 @@ func TestInversionPct(t *testing.T) {
 		rec(0.3, true, 1), rec(0.1, false, 1),
 	}); got != 0 {
 		t.Errorf("per-wave oracle log scored %.1f%%, want 0", got)
+	}
+}
+
+// TestAdaptiveStudyConverges is the acceptance gate of the adaptive
+// controller: on the streaming-sobel workload the controller must converge
+// to the PSNR setpoint within 8 waves of the mid-stream scene change, with
+// the steady-state provided ratio within ±0.05 of the oracle static ratio
+// — on both the initial scene (step response from fully accurate) and the
+// post-disturbance scene. The study is fully deterministic (max-buffering
+// decisions, declared costs, arithmetic control law), so exact thresholds
+// are safe to assert.
+func TestAdaptiveStudyConverges(t *testing.T) {
+	res, err := AdaptiveStudy(AdaptiveConfig{Scale: 0.05, Waves: 20, ChangeAt: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, seg := range res.Segments {
+		if seg.ConvergedAfter < 0 {
+			t.Errorf("scene %d: controller never converged to within %.2f of oracle %.3f",
+				seg.Scene, res.Tolerance, seg.OracleRatio)
+			continue
+		}
+		if seg.ConvergedAfter > 8 {
+			t.Errorf("scene %d: converged after %d waves, want <= 8", seg.Scene, seg.ConvergedAfter)
+		}
+		if d := math.Abs(seg.SteadyRatio - seg.OracleRatio); d > res.Tolerance {
+			t.Errorf("scene %d: steady provided ratio %.3f is %.3f from oracle %.3f (tolerance %.2f)",
+				seg.Scene, seg.SteadyRatio, d, seg.OracleRatio, res.Tolerance)
+		}
+		if seg.SteadyPSNR < res.Setpoint {
+			t.Errorf("scene %d: steady PSNR %.2f dB below the %.2f dB setpoint", seg.Scene, seg.SteadyPSNR, res.Setpoint)
+		}
+	}
+	// The disturbance must be real: the two scenes need distinct oracles,
+	// otherwise the rejection half of the study tests nothing.
+	if math.Abs(res.Segments[0].OracleRatio-res.Segments[1].OracleRatio) < 0.1 {
+		t.Errorf("scene oracles %.3f and %.3f too close — the scene change is not a disturbance",
+			res.Segments[0].OracleRatio, res.Segments[1].OracleRatio)
+	}
+
+	// Energy-capped kmeans stream: the budget must be respected at steady
+	// state while the ratio sits near the analytic oracle.
+	if n := len(res.KmeansRows); n == 0 {
+		t.Fatal("kmeans stream recorded no waves")
+	}
+	last := res.KmeansRows[len(res.KmeansRows)-1]
+	if last.Joules > res.KmeansBudget*(1+1e-9) {
+		t.Errorf("kmeans steady wave energy %.6gJ exceeds the %.6gJ budget", last.Joules, res.KmeansBudget)
+	}
+	if d := math.Abs(last.Provided - res.KmeansOracleRatio); d > 0.05 {
+		t.Errorf("kmeans steady ratio %.3f is %.3f from the analytic oracle %.2f", last.Provided, d, res.KmeansOracleRatio)
+	}
+}
+
+// TestAdaptiveStudyDeterministic: two runs of the study must agree exactly
+// — the controller's replay contract holds end to end through the harness.
+func TestAdaptiveStudyDeterministic(t *testing.T) {
+	cfg := AdaptiveConfig{Scale: 0.03, Waves: 8, ChangeAt: 4, KmeansWaves: 4}
+	a, err := AdaptiveStudy(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := AdaptiveStudy(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Rows) != len(b.Rows) {
+		t.Fatalf("row counts differ: %d vs %d", len(a.Rows), len(b.Rows))
+	}
+	for i := range a.Rows {
+		if a.Rows[i] != b.Rows[i] {
+			t.Errorf("sobel wave %d diverged between runs:\n%+v\n%+v", i, a.Rows[i], b.Rows[i])
+		}
+	}
+	for i := range a.KmeansRows {
+		if a.KmeansRows[i] != b.KmeansRows[i] {
+			t.Errorf("kmeans wave %d diverged between runs:\n%+v\n%+v", i, a.KmeansRows[i], b.KmeansRows[i])
+		}
 	}
 }
 

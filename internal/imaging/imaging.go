@@ -123,8 +123,20 @@ func Quadrants(a, b, c, d *Image) (*Image, error) {
 // background, circles, bars and pseudo-random speckle — with enough edges
 // and texture to exercise Sobel and DCT meaningfully.
 func Synthetic(w, h int, seed int64) *Image {
+	return SyntheticDetail(w, h, seed, 0)
+}
+
+// SyntheticDetail renders the Synthetic scene with a tunable amount of
+// extra texture: detail > 0 overlays horizontal stripes (strong vertical
+// gradients) and amplifies the speckle proportionally. Sobel's degraded
+// body is a horizontal-only gradient, so higher detail makes approximation
+// visibly worse — which is what gives the adaptive study a real
+// disturbance: switching scenes shifts the whole quality-vs-ratio curve.
+// detail == 0 reproduces Synthetic exactly.
+func SyntheticDetail(w, h int, seed int64, detail float64) *Image {
 	im := NewImage(w, h)
 	rng := uint64(seed)*2862933555777941757 + 3037000493
+	stripe := max(4, h/32)
 	for y := 0; y < h; y++ {
 		for x := 0; x < w; x++ {
 			// Diagonal gradient background.
@@ -139,9 +151,13 @@ func Synthetic(w, h int, seed int64) *Image {
 			if x < w/3 && (x/max(4, w/32))%2 == 0 {
 				v -= 35
 			}
+			// Horizontal stripes: edges only a vertical gradient sees.
+			if detail > 0 && (y/stripe)%2 == 0 {
+				v += 30 * detail
+			}
 			// Deterministic speckle noise.
 			rng = rng*6364136223846793005 + 1442695040888963407
-			v += float64(int8(rng>>56)) / 16
+			v += (1 + detail) * float64(int8(rng>>56)) / 16
 			if v < 0 {
 				v = 0
 			}

@@ -1,0 +1,283 @@
+// Package adapt closes the quality/energy feedback loop the paper's §5
+// leaves to the runtime: an online Controller owns a task group's accuracy
+// ratio and retunes it wave by wave from the per-wave telemetry the sig
+// runtime publishes through its Observer hook.
+//
+// Two objectives are supported. TargetQuality drives a caller-supplied
+// quality probe to a setpoint using the lowest ratio that holds it — the
+// operator's "hold PSNR above X with minimum energy". TargetEnergy caps the
+// modeled joules per wave while providing the highest ratio the budget
+// affords. Both laws are pure float arithmetic over the wave telemetry (no
+// clocks, no randomness), so a run with declared task costs and a
+// deterministic policy reproduces the identical ratio trajectory at any
+// worker count — regression-tested under -race.
+//
+// Usage:
+//
+//	ctl, _ := adapt.New(adapt.Config{
+//		Group:     "sobel",
+//		Objective: adapt.TargetQuality,
+//		Setpoint:  17, // dB
+//		Probe:     func() float64 { return imaging.PSNR(ref, out) },
+//	})
+//	rt, _ := sig.New(sig.Config{Policy: sig.PolicyGTBMaxBuffer, Observer: ctl})
+//	grp := rt.Group("sobel", 1.0)
+//	for each frame {
+//		app.SubmitFrame(rt, grp, out)
+//		ws := rt.WaitPhase(grp) // controller retunes grp's ratio here
+//	}
+package adapt
+
+import (
+	"fmt"
+	"math"
+	"sync"
+
+	"repro/sig"
+)
+
+// Objective selects what the controller regulates.
+type Objective int
+
+const (
+	// TargetQuality drives the quality probe to Config.Setpoint with the
+	// lowest ratio (hence minimal modeled energy) that holds it.
+	TargetQuality Objective = iota
+	// TargetEnergy caps the modeled joules per wave at Config.Budget while
+	// providing the highest ratio that fits the cap.
+	TargetEnergy
+)
+
+// Default controller gains. They assume nothing about the probe's units:
+// errors are normalized by the setpoint's magnitude and the secant estimate
+// takes over as soon as two informative waves exist.
+const (
+	// DefaultGain is the proportional gain on the normalized error.
+	DefaultGain = 2.0
+	// DefaultMaxStep bounds the per-wave ratio change.
+	DefaultMaxStep = 0.25
+	// DefaultDeadband is the relative error inside which the ratio holds.
+	DefaultDeadband = 0.02
+)
+
+// Config parameterizes a Controller.
+type Config struct {
+	// Group names the controlled task group ("" = the default group).
+	Group string
+	// Objective selects the control law.
+	Objective Objective
+	// Setpoint is the quality target, in the probe's units, for
+	// TargetQuality. Higher probe values must mean better quality (PSNR
+	// does; invert lower-is-better metrics in the probe).
+	Setpoint float64
+	// Probe measures the completed wave's output quality. Required for
+	// TargetQuality; called once per wave on the goroutine that invoked
+	// Wait/WaitPhase, after every task of the wave finished.
+	Probe func() float64
+	// Budget is the per-wave modeled-energy cap in joules (TargetEnergy).
+	Budget float64
+	// Gain, MaxStep and Deadband override the defaults when positive.
+	Gain     float64
+	MaxStep  float64
+	Deadband float64
+	// Min and Max bound the commanded ratio (defaults 0 and 1).
+	Min, Max float64
+}
+
+func (c Config) gain() float64 {
+	if c.Gain > 0 {
+		return c.Gain
+	}
+	return DefaultGain
+}
+
+func (c Config) maxStep() float64 {
+	if c.MaxStep > 0 {
+		return c.MaxStep
+	}
+	return DefaultMaxStep
+}
+
+func (c Config) deadband() float64 {
+	if c.Deadband > 0 {
+		return c.Deadband
+	}
+	return DefaultDeadband
+}
+
+// Sample is one wave of the controller's trace.
+type Sample struct {
+	// Wave is the runtime's wave index.
+	Wave int
+	// Ratio is the ratio that was in effect while the wave ran;
+	// NextRatio is what the controller commanded for the next wave.
+	Ratio     float64
+	NextRatio float64
+	// Measure is the regulated variable: the probe's value under
+	// TargetQuality, the wave's modeled joules under TargetEnergy.
+	Measure float64
+	// ProvidedRatio, Joules and Dropped echo the wave telemetry.
+	ProvidedRatio float64
+	Joules        float64
+	Dropped       int
+	// Held reports that the measure sat inside the deadband and the
+	// ratio was left alone.
+	Held bool
+}
+
+// Controller is a per-group feedback controller. It implements
+// sig.Observer; attach it through sig.Config.Observer and it takes
+// ownership of the group's ratio from the first completed wave on.
+type Controller struct {
+	cfg Config
+
+	mu    sync.Mutex
+	trace []Sample
+	// prev is the last informative (ratio, measure) point, used for the
+	// secant slope estimate.
+	prevRatio   float64
+	prevMeasure float64
+	havePrev    bool
+}
+
+// New validates cfg and builds a Controller.
+func New(cfg Config) (*Controller, error) {
+	switch cfg.Objective {
+	case TargetQuality:
+		if cfg.Probe == nil {
+			return nil, fmt.Errorf("adapt: TargetQuality requires a Probe")
+		}
+		if math.IsNaN(cfg.Setpoint) || math.IsInf(cfg.Setpoint, 0) {
+			return nil, fmt.Errorf("adapt: non-finite Setpoint %v", cfg.Setpoint)
+		}
+	case TargetEnergy:
+		if !(cfg.Budget > 0) {
+			return nil, fmt.Errorf("adapt: TargetEnergy requires a positive Budget, got %v", cfg.Budget)
+		}
+	default:
+		return nil, fmt.Errorf("adapt: unknown objective %d", cfg.Objective)
+	}
+	if cfg.Max == 0 {
+		cfg.Max = 1
+	}
+	if cfg.Min < 0 || cfg.Max > 1 || cfg.Min > cfg.Max {
+		return nil, fmt.Errorf("adapt: ratio bounds [%v,%v] outside [0,1]", cfg.Min, cfg.Max)
+	}
+	return &Controller{cfg: cfg}, nil
+}
+
+// ObserveWave implements sig.Observer: it regulates the configured group
+// and ignores every other. Empty waves (Close's final drain, foreign
+// taskwaits) carry no information and leave the controller untouched.
+func (c *Controller) ObserveWave(g *sig.Group, ws sig.WaveStats) {
+	if g.Name() != c.cfg.Group || ws.Submitted == 0 {
+		return
+	}
+	var measure float64
+	if c.cfg.Objective == TargetQuality {
+		measure = c.cfg.Probe()
+	} else {
+		measure = ws.Joules
+	}
+	c.mu.Lock()
+	next, held := c.step(ws.RequestedRatio, measure)
+	c.trace = append(c.trace, Sample{
+		Wave:          ws.Wave,
+		Ratio:         ws.RequestedRatio,
+		NextRatio:     next,
+		Measure:       measure,
+		ProvidedRatio: ws.ProvidedRatio,
+		Joules:        ws.Joules,
+		Dropped:       ws.Dropped,
+		Held:          held,
+	})
+	c.mu.Unlock()
+	g.SetRatio(next)
+}
+
+// step runs one control update: from the ratio that produced the wave and
+// the measured variable, pick the next ratio. Caller holds c.mu.
+func (c *Controller) step(ratio, measure float64) (next float64, held bool) {
+	setpoint := c.cfg.Setpoint
+	if c.cfg.Objective == TargetEnergy {
+		setpoint = c.cfg.Budget
+	}
+	scale := math.Max(math.Abs(setpoint), 1e-12)
+	maxStep := c.cfg.maxStep()
+
+	// Non-finite measures (a probe returning +Inf on a bit-exact wave)
+	// carry only a direction: quality is in gross excess, so step the
+	// ratio down hard; the point is not usable for the secant estimate.
+	if math.IsNaN(measure) || math.IsInf(measure, 0) {
+		dir := -1.0
+		if math.IsInf(measure, -1) {
+			dir = 1.0
+		}
+		return c.clampRatio(ratio + dir*maxStep), false
+	}
+
+	// The setpoint is one-sided: a quality target is a floor (hold the
+	// probe at or above it, as close as the deadband allows — that is the
+	// minimal-energy point), an energy budget is a cap (stay at or below
+	// it while providing as much ratio as fits). The controller holds
+	// only inside the band on the safe side of the setpoint.
+	err := setpoint - measure
+	band := 2 * c.cfg.deadband() * scale
+	var inBand bool
+	if c.cfg.Objective == TargetEnergy {
+		inBand = measure <= setpoint && setpoint-measure <= band
+	} else {
+		inBand = measure >= setpoint && measure-setpoint <= band
+	}
+	if inBand {
+		c.prevRatio, c.prevMeasure, c.havePrev = ratio, measure, true
+		return ratio, true
+	}
+
+	// Secant step: estimate the local measure-vs-ratio slope from the
+	// last informative wave and jump to where the setpoint should sit.
+	// Both objectives increase with ratio (more accurate tasks = better
+	// quality, more joules), so only a positive slope is trusted;
+	// otherwise fall back to a proportional step on the normalized error.
+	step := c.cfg.gain() * clamp(err/scale, -1, 1) * maxStep
+	if c.havePrev && ratio != c.prevRatio {
+		slope := (measure - c.prevMeasure) / (ratio - c.prevRatio)
+		if slope > 1e-12 {
+			step = err / slope
+		}
+	}
+	step = clamp(step, -maxStep, maxStep)
+	c.prevRatio, c.prevMeasure, c.havePrev = ratio, measure, true
+	return c.clampRatio(ratio + step), false
+}
+
+func (c *Controller) clampRatio(r float64) float64 {
+	return clamp(r, c.cfg.Min, c.cfg.Max)
+}
+
+func clamp(x, lo, hi float64) float64 {
+	switch {
+	case x < lo:
+		return lo
+	case x > hi:
+		return hi
+	}
+	return x
+}
+
+// Trace returns a copy of the per-wave control trace.
+func (c *Controller) Trace() []Sample {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return append([]Sample(nil), c.trace...)
+}
+
+// Ratio returns the last commanded ratio (NaN before the first wave).
+func (c *Controller) Ratio() float64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if len(c.trace) == 0 {
+		return math.NaN()
+	}
+	return c.trace[len(c.trace)-1].NextRatio
+}

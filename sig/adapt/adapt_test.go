@@ -1,0 +1,255 @@
+package adapt_test
+
+import (
+	"math"
+	"testing"
+
+	"repro/sig"
+	"repro/sig/adapt"
+)
+
+// streamWorkload drives a synthetic streaming workload under a controller:
+// waves of n tasks whose significances follow a fixed pattern, with
+// declared costs so modeled energy is deterministic. It returns the
+// controller's trace. The quality probe is the significance-weighted
+// accurate fraction of the last wave — a deterministic, monotone function
+// of the ratio under GTB max buffering.
+func streamWorkload(t *testing.T, workers, waves, n int, startRatio float64, mk func(probe func() float64) *adapt.Controller) []adapt.Sample {
+	t.Helper()
+	ranAcc := make([]bool, n)
+	sigs := make([]float64, n)
+	var total float64
+	for i := range sigs {
+		sigs[i] = float64(i*37%96+1) / 97
+		total += sigs[i]
+	}
+	probe := func() float64 {
+		var acc float64
+		for i, ok := range ranAcc {
+			if ok {
+				acc += sigs[i]
+			}
+		}
+		return acc / total
+	}
+	ctl := mk(probe)
+	rt, err := sig.New(sig.Config{Workers: workers, Policy: sig.PolicyGTBMaxBuffer, Observer: ctl})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rt.Close()
+	g := rt.Group("stream", startRatio)
+	for w := 0; w < waves; w++ {
+		for i := range ranAcc {
+			ranAcc[i] = false
+		}
+		for i := 0; i < n; i++ {
+			i := i
+			rt.Submit(func() { ranAcc[i] = true },
+				sig.WithLabel(g),
+				sig.WithSignificance(sigs[i]),
+				sig.WithApprox(func() {}),
+				sig.WithCost(100, 10))
+		}
+		rt.WaitPhase(g)
+	}
+	return ctl.Trace()
+}
+
+func qualityController(t *testing.T, setpoint float64) func(func() float64) *adapt.Controller {
+	return func(probe func() float64) *adapt.Controller {
+		ctl, err := adapt.New(adapt.Config{
+			Group:     "stream",
+			Objective: adapt.TargetQuality,
+			Setpoint:  setpoint,
+			Probe:     probe,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return ctl
+	}
+}
+
+// trajectory flattens a trace into the commanded-ratio sequence.
+func trajectory(trace []adapt.Sample) []float64 {
+	out := make([]float64, len(trace))
+	for i, s := range trace {
+		out[i] = s.NextRatio
+	}
+	return out
+}
+
+// TestDeterministicReplay: with a fixed workload and modeled costs, the
+// controller must reproduce the bit-identical ratio trajectory run-to-run
+// and across 1, 4 and 16 workers (and under -race — the CI race job runs
+// this test). This is the replay contract that makes adaptive runs
+// debuggable: the trajectory is a pure function of the stream.
+func TestDeterministicReplay(t *testing.T) {
+	const waves, n = 15, 128
+	var want []float64
+	for _, workers := range []int{1, 4, 16} {
+		for run := 0; run < 2; run++ {
+			trace := streamWorkload(t, workers, waves, n, 0.2, qualityController(t, 0.8))
+			if len(trace) != waves {
+				t.Fatalf("workers=%d run=%d: trace has %d waves, want %d", workers, run, len(trace), waves)
+			}
+			got := trajectory(trace)
+			if want == nil {
+				want = got
+				continue
+			}
+			for i := range want {
+				if got[i] != want[i] {
+					t.Fatalf("workers=%d run=%d: trajectory diverged at wave %d: %.17g != %.17g\nwant %v\ngot  %v",
+						workers, run, i, got[i], want[i], want, got)
+				}
+			}
+		}
+	}
+}
+
+// TestEnergyTargetReplayAndCap: the TargetEnergy trajectory is equally
+// deterministic, converges under the budget, and lands near the analytic
+// oracle ratio (wave energy is linear in the accurate count with declared
+// costs 100/10).
+func TestEnergyTargetReplayAndCap(t *testing.T) {
+	const waves, n = 15, 128
+	// Budget = energy of a wave with exactly half the tasks accurate.
+	budget := sig.DefaultActiveWatts * float64(n/2*100+n/2*10) * 1e-9
+	mk := func(func() float64) *adapt.Controller {
+		ctl, err := adapt.New(adapt.Config{
+			Group:     "stream",
+			Objective: adapt.TargetEnergy,
+			Budget:    budget,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return ctl
+	}
+	var want []float64
+	for _, workers := range []int{1, 4, 16} {
+		trace := streamWorkload(t, workers, waves, n, 1.0, mk)
+		got := trajectory(trace)
+		if want == nil {
+			want = got
+		} else {
+			for i := range want {
+				if got[i] != want[i] {
+					t.Fatalf("workers=%d: energy trajectory diverged at wave %d: %v vs %v", workers, i, got, want)
+				}
+			}
+		}
+		last := trace[len(trace)-1]
+		if last.Joules > budget*(1+1e-9) {
+			t.Errorf("workers=%d: steady-state wave energy %.6gJ exceeds budget %.6gJ", workers, last.Joules, budget)
+		}
+		if math.Abs(last.ProvidedRatio-0.5) > 0.05 {
+			t.Errorf("workers=%d: steady-state ratio %.3f, want within 0.05 of the analytic oracle 0.5", workers, last.ProvidedRatio)
+		}
+	}
+}
+
+// TestQualityConvergesToSetpointFloor: the controller must settle at the
+// cheapest ratio holding the probe at or above the setpoint — approaching
+// from below (step response up) and from above (minimal energy seeking).
+func TestQualityConvergesToSetpointFloor(t *testing.T) {
+	const waves, n = 15, 128
+	for _, start := range []float64{0.05, 1.0} {
+		trace := streamWorkload(t, 1, waves, n, start, qualityController(t, 0.8))
+		last := trace[len(trace)-1]
+		if last.Measure < 0.8 {
+			t.Errorf("start=%.2f: steady-state quality %.4f below setpoint 0.8", start, last.Measure)
+		}
+		if last.Measure > 0.85 {
+			t.Errorf("start=%.2f: steady-state quality %.4f wastes energy (far above setpoint)", start, last.Measure)
+		}
+		if !last.Held {
+			t.Errorf("start=%.2f: controller still moving at wave %d (measure %.4f -> next %.3f)",
+				start, last.Wave, last.Measure, last.NextRatio)
+		}
+	}
+}
+
+// TestControllerIgnoresOtherGroupsAndEmptyWaves: waves of foreign groups
+// and the empty drain at Close must leave the trace untouched.
+func TestControllerIgnoresOtherGroupsAndEmptyWaves(t *testing.T) {
+	ctl, err := adapt.New(adapt.Config{
+		Group: "mine", Objective: adapt.TargetQuality, Setpoint: 1, Probe: func() float64 { return 1 },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt, err := sig.New(sig.Config{Workers: 1, Policy: sig.PolicyGTBMaxBuffer, Observer: ctl})
+	if err != nil {
+		t.Fatal(err)
+	}
+	other := rt.Group("other", 0.5)
+	rt.Submit(func() {}, sig.WithLabel(other), sig.WithSignificance(0.5), sig.WithApprox(func() {}))
+	rt.Wait(other)
+	mine := rt.Group("mine", 0.5)
+	rt.Wait(mine) // empty wave
+	if err := rt.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if got := ctl.Trace(); len(got) != 0 {
+		t.Errorf("controller observed %d waves, want 0 (foreign + empty waves ignored): %+v", len(got), got)
+	}
+	if !math.IsNaN(ctl.Ratio()) {
+		t.Errorf("Ratio() before any controlled wave = %v, want NaN", ctl.Ratio())
+	}
+}
+
+// TestConfigValidation covers the constructor's error paths.
+func TestConfigValidation(t *testing.T) {
+	cases := []adapt.Config{
+		{Objective: adapt.TargetQuality, Setpoint: 1},                                               // no probe
+		{Objective: adapt.TargetQuality, Setpoint: math.Inf(1), Probe: func() float64 { return 0 }}, // bad setpoint
+		{Objective: adapt.TargetEnergy},                                                             // no budget
+		{Objective: adapt.TargetEnergy, Budget: -2},                                                 // negative budget
+		{Objective: adapt.Objective(42)},                                                            // unknown objective
+		{Objective: adapt.TargetEnergy, Budget: 1, Min: 0.9, Max: 0.1},                              // inverted bounds
+		{Objective: adapt.TargetEnergy, Budget: 1, Min: -0.5},                                       // out-of-range bound
+	}
+	for i, cfg := range cases {
+		if _, err := adapt.New(cfg); err == nil {
+			t.Errorf("case %d: config %+v accepted, want error", i, cfg)
+		}
+	}
+}
+
+// TestControllerHotPathAllocs: attaching a live controller must keep the
+// per-task submit path allocation-free — the adaptive loop's work happens
+// at wave boundaries only.
+func TestControllerHotPathAllocs(t *testing.T) {
+	if testing.Short() {
+		t.Skip("alloc accounting is noisy under -short race runs")
+	}
+	ctl, err := adapt.New(adapt.Config{
+		Group: "alloc", Objective: adapt.TargetQuality, Setpoint: 0.5,
+		Probe: func() float64 { return 0.5 },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt, err := sig.New(sig.Config{Workers: 1, Policy: sig.PolicyGTBMaxBuffer, Observer: ctl})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rt.Close()
+	g := rt.Group("alloc", 0.5)
+	body := func() {}
+	opts := []sig.TaskOption{sig.WithLabel(g), sig.WithSignificance(0.5), sig.WithApprox(body), sig.WithCost(50, 5)}
+	for i := 0; i < 4000; i++ {
+		rt.Submit(body, opts...)
+	}
+	rt.Wait(g)
+	avg := testing.AllocsPerRun(2000, func() {
+		rt.Submit(body, opts...)
+	})
+	rt.Wait(g)
+	if avg > 0 {
+		t.Errorf("%.2f allocs per submitted task with a controller attached, want 0", avg)
+	}
+}

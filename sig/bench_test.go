@@ -159,8 +159,20 @@ func BenchmarkWait(b *testing.B) {
 	}
 }
 
+// benchObserver is a minimal Observer standing in for the adaptive
+// controller (which lives downstream in sig/adapt): it retunes the group's
+// ratio at every wave, exactly like the controller's hot-path interaction.
+type benchObserver struct{ waves int }
+
+func (o *benchObserver) ObserveWave(g *Group, ws WaveStats) {
+	o.waves++
+	g.SetRatio(ws.RequestedRatio)
+}
+
 // TestSubmitAllocs asserts the steady-state heap cost of one submitted,
-// executed task stays at or below one allocation per task.
+// executed task stays at or below one allocation per task — including with
+// an Observer attached (the adaptive-control hook must cost nothing on the
+// per-task path; its work happens at wave boundaries).
 func TestSubmitAllocs(t *testing.T) {
 	if testing.Short() {
 		t.Skip("alloc accounting is noisy under -short race runs")
@@ -168,7 +180,7 @@ func TestSubmitAllocs(t *testing.T) {
 	kinds := []PolicyKind{PolicyAccurate, PolicyGTB, PolicyGTBMaxBuffer, PolicyLQH, PolicyPerforation}
 	for _, kind := range kinds {
 		t.Run(kind.String(), func(t *testing.T) {
-			rt, err := New(Config{Workers: 1, Policy: kind})
+			rt, err := New(Config{Workers: 1, Policy: kind, Observer: &benchObserver{}})
 			if err != nil {
 				t.Fatal(err)
 			}

@@ -1,0 +1,121 @@
+package sig
+
+import "time"
+
+// WaveStats is the telemetry of one completed wave (phase) of a group: the
+// task accounting, requested/provided accuracy and modeled energy accrued
+// between two consecutive taskwait boundaries. It is what the adaptive
+// layer (sig/adapt) consumes to retune a group's ratio wave by wave.
+//
+// All fields are computed by snapshot-diffing the group's existing atomic
+// counters and the workers' busy clocks at the wave boundary, so phased
+// telemetry adds nothing to the per-task hot path.
+type WaveStats struct {
+	// Wave is the index of the wave that just completed (the value tasks
+	// of that wave carried in their DecisionRecord).
+	Wave int
+	// Submitted counts tasks submitted during the wave; Accurate,
+	// Approximate and Dropped count how they were decided. For a group
+	// drained at a taskwait, Submitted = Accurate+Approximate+Dropped.
+	Submitted   int
+	Accurate    int
+	Approximate int
+	Dropped     int
+	// RequestedRatio is the group's target accurate ratio at the wave
+	// boundary; ProvidedRatio is the accurate fraction the wave actually
+	// delivered (the requested ratio when the wave was empty).
+	RequestedRatio float64
+	ProvidedRatio  float64
+	// Busy is the modeled busy time accrued across all workers during the
+	// wave and Joules its energy at the runtime's ActiveWatts. With
+	// declared task costs (WithCost) both are deterministic. Busy time is
+	// runtime-wide: when several groups run tasks between this group's
+	// phase boundaries, their work is attributed to this wave too —
+	// streaming workloads drive one group at a time.
+	Busy   time.Duration
+	Joules float64
+}
+
+// Decided returns the number of tasks decided in the wave.
+func (w WaveStats) Decided() int { return w.Accurate + w.Approximate + w.Dropped }
+
+// Observer receives per-wave telemetry at every taskwait boundary (Wait,
+// WaitPhase, and the implicit drain in Close). It is the feedback seam of
+// the adaptive layer: an observer may retune the group's ratio via
+// Group.SetRatio and the new value takes effect for the next wave's
+// decisions. ObserveWave runs on the goroutine calling Wait/WaitPhase,
+// after every task of the wave has completed — so it may safely read
+// outputs the wave produced (e.g. run a quality probe) — and must return
+// before the next wave is submitted.
+type Observer interface {
+	ObserveWave(g *Group, ws WaveStats)
+}
+
+// Phase returns the index of the wave currently accepting submissions.
+// Waves advance at each taskwait boundary (Wait or WaitPhase).
+func (g *Group) Phase() int { return int(g.wave.Load()) }
+
+// SetRatio retargets the group's requested accurate ratio (clamped to
+// [0,1]). It is the adaptive controller's knob: the new ratio applies to
+// decisions made after the call — for buffering policies, to the next
+// window or flush.
+func (g *Group) SetRatio(r float64) { g.setRatio(r) }
+
+// WaitPhase is Wait with telemetry: it drains the group like Wait and
+// returns the completed wave's WaveStats instead of the cumulative provided
+// ratio. Streaming workloads call it once per wave; the configured Observer
+// (if any) sees the same WaveStats before WaitPhase returns.
+func (rt *Runtime) WaitPhase(g *Group) WaveStats {
+	if g == nil {
+		g = rt.defaultGroup()
+	}
+	rt.drain(g)
+	ws := rt.endWave(g)
+	rt.observe(g, ws)
+	return ws
+}
+
+// endWave closes the group's current wave: it diffs the task counters and
+// the busy clocks against the previous boundary's snapshot, advances the
+// wave epoch and returns the wave's telemetry. phaseMu only serializes
+// concurrent taskwaits on the same group — never the submit path.
+func (rt *Runtime) endWave(g *Group) WaveStats {
+	g.phaseMu.Lock()
+	defer g.phaseMu.Unlock()
+	sub := g.submitted.Load()
+	acc := g.accurate.Load()
+	app := g.approximate.Load()
+	drop := g.dropped.Load()
+	busy := rt.busyNS()
+	ws := WaveStats{
+		Wave:           int(g.wave.Load()),
+		Submitted:      int(sub - g.waveBase.submitted),
+		Accurate:       int(acc - g.waveBase.accurate),
+		Approximate:    int(app - g.waveBase.approximate),
+		Dropped:        int(drop - g.waveBase.dropped),
+		RequestedRatio: g.Ratio(),
+		Busy:           time.Duration(busy - g.waveBase.busyNS),
+	}
+	ws.Joules = rt.energy.ActiveWatts * ws.Busy.Seconds()
+	if d := ws.Decided(); d > 0 {
+		ws.ProvidedRatio = float64(ws.Accurate) / float64(d)
+	} else {
+		ws.ProvidedRatio = ws.RequestedRatio
+	}
+	g.waveBase = waveSnapshot{submitted: sub, accurate: acc, approximate: app, dropped: drop, busyNS: busy}
+	g.wave.Add(1)
+	return ws
+}
+
+// observe delivers the wave to the configured observer, if any.
+func (rt *Runtime) observe(g *Group, ws WaveStats) {
+	if o := rt.cfg.Observer; o != nil {
+		o.ObserveWave(g, ws)
+	}
+}
+
+// waveSnapshot is the counter state at the last wave boundary.
+type waveSnapshot struct {
+	submitted, accurate, approximate, dropped int64
+	busyNS                                    int64
+}

@@ -213,7 +213,19 @@ func (p *gtbPolicy) Submit(t *Task) (*Task, []*Task) {
 	return nil, nil
 }
 
-func (p *gtbPolicy) Flush() []*Task { return p.decide() }
+// Flush decides the remaining buffer and closes the wave's quota epoch: the
+// running totals the per-window drift correction accumulates against are
+// reset, so a ratio retargeted between waves (Group.SetRatio, the adaptive
+// controller's knob) applies to the next wave alone instead of fighting the
+// previous waves' accounting. Without the reset, a wave after a ratio
+// change over- or under-shoots to drag the *cumulative* ratio onto the new
+// target — a second integrator in the control loop that sends it into a
+// limit cycle.
+func (p *gtbPolicy) Flush() []*Task {
+	out := p.decide()
+	p.decidedTotal, p.decidedAccurate = 0, 0
+	return out
+}
 
 // decide ranks the buffered tasks by significance and marks the top share
 // accurate. The accurate quota is computed against the running totals, so

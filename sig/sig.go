@@ -58,6 +58,11 @@ type Config struct {
 	// policy whose Submit needs no serialization can implement
 	// LocklessSubmitter to skip the per-group lock.
 	NewPolicy func(g *Group) Policy
+	// Observer, when non-nil, receives per-wave telemetry (WaveStats) for
+	// every group at each taskwait boundary. It is the feedback hook the
+	// adaptive controller (sig/adapt) attaches to; it adds nothing to the
+	// per-task hot path (see observe.go).
+	Observer Observer
 }
 
 // Task is a unit of work submitted to the runtime. Policies read the exported
@@ -111,6 +116,11 @@ type Group struct {
 	logMu sync.Mutex
 	log   []DecisionRecord
 	wave  atomic.Int64 // taskwait epoch counter
+
+	// phaseMu guards the per-wave telemetry snapshot; it is taken only at
+	// wave boundaries (endWave), never on the submit or completion path.
+	phaseMu  sync.Mutex
+	waveBase waveSnapshot
 
 	// pending counts dispatched-but-unfinished tasks. The counter is
 	// atomic so the submit and completion paths stay lock-free; Wait falls
@@ -608,22 +618,21 @@ func (g *Group) record(t *Task, accurate bool) {
 }
 
 // providedRatio is the achieved accurate fraction over all decided tasks.
+// A group nothing was ever submitted to reports its requested ratio: an
+// empty run trivially satisfies its target, and callers averaging Wait
+// results must never see a 0/0 artifact.
 func (g *Group) providedRatio() float64 {
 	acc := g.accurate.Load()
 	total := acc + g.approximate.Load() + g.dropped.Load()
 	if total == 0 {
-		return 0
+		return g.Ratio()
 	}
 	return float64(acc) / float64(total)
 }
 
-// Wait is the taskwait of the model: it flushes the group's policy buffer,
-// blocks until every task of the group has completed (or been dropped) and
-// returns the accuracy ratio the run actually provided.
-func (rt *Runtime) Wait(g *Group) float64 {
-	if g == nil {
-		g = rt.defaultGroup()
-	}
+// drain flushes the group's policy buffer and blocks until every task of
+// the group has completed (or been dropped).
+func (rt *Runtime) drain(g *Group) {
 	g.mu.Lock()
 	ready := g.policy.Flush()
 	if len(ready) > 0 {
@@ -634,7 +643,19 @@ func (rt *Runtime) Wait(g *Group) float64 {
 		rt.dispatchBatch(ready)
 	}
 	g.waitIdle()
-	g.wave.Add(1)
+}
+
+// Wait is the taskwait of the model: it flushes the group's policy buffer,
+// blocks until every task of the group has completed (or been dropped) and
+// returns the accuracy ratio the run actually provided (cumulatively; see
+// WaitPhase for the wave-local view).
+func (rt *Runtime) Wait(g *Group) float64 {
+	if g == nil {
+		g = rt.defaultGroup()
+	}
+	rt.drain(g)
+	ws := rt.endWave(g)
+	rt.observe(g, ws)
 	return g.providedRatio()
 }
 
@@ -698,12 +719,17 @@ func (rt *Runtime) Energy() Report {
 	return rt.report(time.Since(rt.start))
 }
 
-func (rt *Runtime) report(wall time.Duration) Report {
+// busyNS sums the workers' busy clocks.
+func (rt *Runtime) busyNS() int64 {
 	var busy int64
 	for i := range rt.clocks {
 		busy += rt.clocks[i].busyNS.Load()
 	}
-	return rt.energy.report(wall, time.Duration(busy), rt.workers)
+	return busy
+}
+
+func (rt *Runtime) report(wall time.Duration) Report {
+	return rt.energy.report(wall, time.Duration(rt.busyNS()), rt.workers)
 }
 
 // Stats returns a snapshot of per-group task accounting.
