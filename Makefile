@@ -1,9 +1,16 @@
 GO ?= go
 
-.PHONY: test race bench fuzz bench-adapt
+.PHONY: test vet race bench fuzz fuzz-serve bench-adapt serve-study
 
 test:
 	$(GO) build ./... && $(GO) test ./...
+
+# Static analysis: go vet always; staticcheck when installed (CI installs a
+# pinned version — see .github/workflows/ci.yml).
+vet:
+	$(GO) vet ./...
+	@if command -v staticcheck >/dev/null 2>&1; then staticcheck ./...; \
+	else echo "staticcheck not installed; skipping (go install honnef.co/go/tools/cmd/staticcheck@2024.1.1)"; fi
 
 race:
 	$(GO) test -race ./...
@@ -11,12 +18,21 @@ race:
 bench:
 	$(GO) test ./sig -run xxx -bench . -benchtime 1s
 
-# Bounded native-fuzz smoke over the policy invariants (same budget CI uses;
-# minimization is capped so the budget is spent fuzzing).
+# Bounded native-fuzz smokes (same budgets CI uses; minimization is capped
+# so the budget is spent fuzzing). `fuzz` covers the policy invariants,
+# `fuzz-serve` the serving admission path.
 fuzz:
 	$(GO) test ./sig -run '^$$' -fuzz FuzzPolicyDecisions -fuzztime 20s -fuzzminimizetime 1x
+
+fuzz-serve:
+	$(GO) test ./sig/serve -run '^$$' -fuzz FuzzServeAdmission -fuzztime 20s -fuzzminimizetime 1x
 
 # Run the adaptive-controller study and append its convergence numbers to
 # BENCH_sig.json under the "adaptive" key.
 bench-adapt:
 	$(GO) run ./cmd/sigbench adaptive -scale 0.1 -append-bench BENCH_sig.json
+
+# Run the serving overload study on both backends and append its summary to
+# BENCH_sig.json under the "serve" key.
+serve-study:
+	$(GO) run ./cmd/sigbench serve -scale 0.1 -backend all -append-bench BENCH_sig.json

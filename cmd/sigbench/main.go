@@ -12,6 +12,7 @@
 //	sigbench table2 [-scale 0.25] [-workers 16]
 //	sigbench ablate [-scale 0.25] [-workers 16]
 //	sigbench adaptive [-scale 0.25] [-setpoint 16] [-waves 24] [-append-bench BENCH_sig.json]
+//	sigbench serve  [-scale 0.25] [-workers 16] [-backend sobel|kmeans|all] [-append-bench BENCH_sig.json]
 //	sigbench all    [-scale 0.25] [-workers 16]
 //
 // Scale 1.0 reproduces evaluation-size problems; smaller scales shrink the
@@ -44,7 +45,8 @@ func main() {
 
 		setpoint = fs.Float64("setpoint", 0, "adaptive: PSNR setpoint in dB (0 = default 16)")
 		waves    = fs.Int("waves", 0, "adaptive: sobel stream length in waves (0 = default 24)")
-		appendTo = fs.String("append-bench", "", "adaptive: merge convergence numbers into this BENCH json file")
+		appendTo = fs.String("append-bench", "", "adaptive/serve: merge summary numbers into this BENCH json file")
+		backend  = fs.String("backend", "sobel", "serve: request backend (sobel, kmeans or all)")
 	)
 	if err := fs.Parse(os.Args[2:]); err != nil {
 		os.Exit(2)
@@ -71,6 +73,8 @@ func main() {
 		err = runAblations(opt)
 	case "adaptive":
 		err = runAdaptive(*scale, *workers, *setpoint, *waves, *appendTo)
+	case "serve":
+		err = runServe(*scale, *workers, *backend, *appendTo)
 	case "all":
 		harness.Table1(os.Stdout)
 		fmt.Println()
@@ -95,8 +99,11 @@ func main() {
 		if err = runAblations(opt); err != nil {
 			break
 		}
+		if err = runAdaptive(*scale, *workers, *setpoint, *waves, ""); err != nil {
+			break
+		}
 		fmt.Println()
-		err = runAdaptive(*scale, *workers, *setpoint, *waves, "")
+		err = runServe(*scale, *workers, "all", "")
 	default:
 		usage()
 		os.Exit(2)
@@ -108,7 +115,7 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: sigbench {table1|fig1|fig2|fig3|fig4|table2|ablate|adaptive|all} [flags]")
+	fmt.Fprintln(os.Stderr, "usage: sigbench {table1|fig1|fig2|fig3|fig4|table2|ablate|adaptive|serve|all} [flags]")
 	fmt.Fprintln(os.Stderr, "run 'sigbench <cmd> -h' for per-command flags")
 }
 
@@ -173,9 +180,11 @@ func runAdaptive(scale float64, workers int, setpoint float64, waves int, append
 	return appendBench(appendTo, res)
 }
 
-// appendBench round-trips the BENCH json file through a generic map and
-// sets/replaces its "adaptive" entry with the study's convergence numbers.
-func appendBench(path string, res harness.AdaptiveResult) error {
+// mergeBenchKey round-trips the BENCH json file through a generic map and
+// sets/replaces one top-level entry. Sub-keys the new value does not carry
+// are kept from the file, so refreshing one serve backend's numbers never
+// erases the other's.
+func mergeBenchKey(path, key string, value map[string]any) error {
 	doc := map[string]any{}
 	if raw, err := os.ReadFile(path); err == nil {
 		if err := json.Unmarshal(raw, &doc); err != nil {
@@ -184,11 +193,29 @@ func appendBench(path string, res harness.AdaptiveResult) error {
 	} else if !os.IsNotExist(err) {
 		return err
 	}
+	if old, ok := doc[key].(map[string]any); ok {
+		for k, v := range old {
+			if _, exists := value[k]; !exists {
+				value[k] = v
+			}
+		}
+	}
+	doc[key] = value
+	out, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(out, '\n'), 0o644)
+}
+
+// appendBench merges the adaptive study's convergence numbers under the
+// BENCH json file's "adaptive" key.
+func appendBench(path string, res harness.AdaptiveResult) error {
 	kmeansFinal := harness.AdaptiveWave{}
 	if n := len(res.KmeansRows); n > 0 {
 		kmeansFinal = res.KmeansRows[n-1]
 	}
-	doc["adaptive"] = map[string]any{
+	return mergeBenchKey(path, "adaptive", map[string]any{
 		"subject":              "sig/adapt controller convergence (harness.AdaptiveStudy)",
 		"setpoint_db":          res.Setpoint,
 		"tolerance":            res.Tolerance,
@@ -200,12 +227,50 @@ func appendBench(path string, res harness.AdaptiveResult) error {
 		"kmeans_oracle_ratio":  res.KmeansOracleRatio,
 		"kmeans_final_ratio":   kmeansFinal.Provided,
 		"kmeans_final_joules":  kmeansFinal.Joules,
+	})
+}
+
+// runServe executes the serving overload study on the selected backends,
+// prints it, and (when appendTo names a BENCH json file) merges the
+// summary under the "serve" key.
+func runServe(scale float64, workers int, backend, appendTo string) error {
+	names := []string{backend}
+	if backend == "all" {
+		names = []string{"sobel", "kmeans"}
 	}
-	out, err := json.MarshalIndent(doc, "", "  ")
-	if err != nil {
-		return err
+	entry := map[string]any{
+		"subject": "sig/serve load-shedding under a 4x overload step (harness.ServeStudy)",
 	}
-	return os.WriteFile(path, append(out, '\n'), 0o644)
+	for i, name := range names {
+		if i > 0 {
+			fmt.Println()
+		}
+		res, err := harness.ServeStudy(harness.ServeConfig{Scale: scale, Workers: workers, Backend: name})
+		if err != nil {
+			return err
+		}
+		harness.PrintServeStudy(os.Stdout, res)
+		entry[name] = map[string]any{
+			"base_per_wave":            res.BasePerWave,
+			"overload":                 res.Overload,
+			"pre_step_ratio":           res.PreStepRatio,
+			"min_step_ratio":           res.MinStepRatio,
+			"recovered_after_waves":    res.RecoveredAfter,
+			"latency_waves_p50":        res.P50,
+			"latency_waves_p99":        res.P99,
+			"rejected":                 res.Rejected,
+			"completed":                res.Outcomes.Completed,
+			"dropped":                  res.Outcomes.Dropped,
+			"total_joules":             res.TotalJoules,
+			"closed_loop_clients":      res.Clients,
+			"closed_loop_req_per_wave": res.ClosedThroughput,
+			"closed_loop_ratio":        res.ClosedRatio,
+		}
+	}
+	if appendTo == "" {
+		return nil
+	}
+	return mergeBenchKey(appendTo, "serve", entry)
 }
 
 func runAblations(opt harness.Options) error {

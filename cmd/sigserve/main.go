@@ -1,0 +1,193 @@
+// Command sigserve is the significance-aware load-shedding service front
+// end: an HTTP server that admits each request into the sig/serve wave
+// pipeline with a significance derived from its user tier. Under overload
+// the admission controller degrades response quality (cheap degraded
+// handlers, then drops for best-effort traffic) before it rejects anything.
+//
+// Usage:
+//
+//	sigserve [-addr :8080] [-backend sobel|kmeans] [-scale 0.25]
+//	         [-workers 0] [-period 5ms] [-queue 4096] [-minratio 0]
+//	         [-target-load 1.0]
+//
+// Endpoints:
+//
+//	GET /work?tier=gold|silver|bronze|batch   serve one request at the
+//	    (or ?sig=0.7)                         tier's significance
+//	GET /stats                                serving counters + ratio
+//	GET /healthz                              liveness
+//
+// Example:
+//
+//	sigserve -backend sobel -scale 0.1 &
+//	for i in $(seq 64); do curl -s 'localhost:8080/work?tier=bronze' & done
+//	curl -s localhost:8080/stats
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"strconv"
+	"sync/atomic"
+	"syscall"
+	"time"
+
+	"repro/internal/harness"
+	"repro/sig/serve"
+)
+
+// tiers maps user tiers onto significances: gold is the special 1.0
+// (never degraded), batch the special 0.0 (always degraded or dropped).
+var tiers = map[string]float64{
+	"gold":   1.0,
+	"silver": 0.7,
+	"bronze": 0.3,
+	"batch":  0.0,
+}
+
+func main() {
+	var (
+		addr       = flag.String("addr", ":8080", "listen address")
+		backendSel = flag.String("backend", "sobel", "request backend: sobel or kmeans")
+		scale      = flag.Float64("scale", 0.25, "backend problem scale in (0,1]")
+		workers    = flag.Int("workers", 0, "worker goroutines (0 = GOMAXPROCS)")
+		period     = flag.Duration("period", serve.DefaultWavePeriod, "wave period")
+		queue      = flag.Int("queue", serve.DefaultQueueLimit, "admission queue limit")
+		minRatio   = flag.Float64("minratio", 0, "quality contract: lowest accuracy ratio")
+		targetLoad = flag.Float64("target-load", serve.DefaultTargetLoad, "admission controller load cap")
+	)
+	flag.Parse()
+
+	backend, err := harness.ServeBackendByName(*backendSel, *scale)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "sigserve:", err)
+		os.Exit(2)
+	}
+	srv, err := serve.New(serve.Config{
+		Workers:    *workers,
+		QueueLimit: *queue,
+		WavePeriod: *period,
+		MinRatio:   *minRatio,
+		TargetLoad: *targetLoad,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "sigserve:", err)
+		os.Exit(2)
+	}
+	srv.Start()
+
+	var seq atomic.Int64
+	mux := http.NewServeMux()
+	mux.HandleFunc("/work", func(w http.ResponseWriter, r *http.Request) {
+		req := backend.NewRequest(int(seq.Add(1) - 1))
+		if sig, ok, err := requestSignificance(r); err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		} else if ok {
+			req.Significance = sig
+		}
+		start := time.Now()
+		tk, err := srv.Submit(req)
+		switch {
+		case errors.Is(err, serve.ErrQueueFull):
+			http.Error(w, "overloaded: admission queue full", http.StatusServiceUnavailable)
+			return
+		case errors.Is(err, serve.ErrClosed):
+			http.Error(w, "shutting down", http.StatusServiceUnavailable)
+			return
+		case err != nil:
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		select {
+		case <-tk.Done():
+		case <-r.Context().Done():
+			// The wave still completes the work; only the caller left.
+			http.Error(w, "client gave up", http.StatusRequestTimeout)
+			return
+		}
+		writeJSON(w, map[string]any{
+			"outcome":       tk.Outcome().String(),
+			"significance":  req.Significance,
+			"wave_latency":  tk.WaveLatency(),
+			"latency_ms":    float64(time.Since(start).Microseconds()) / 1000,
+			"current_ratio": srv.Ratio(),
+		})
+	})
+	mux.HandleFunc("/stats", func(w http.ResponseWriter, r *http.Request) {
+		tot := srv.Totals()
+		writeJSON(w, map[string]any{
+			"backend":   backend.Name,
+			"ratio":     srv.Ratio(),
+			"depth":     srv.Depth(),
+			"waves":     tot.Waves,
+			"submitted": tot.Submitted,
+			"rejected":  tot.Rejected,
+			"completed": tot.Completed,
+			"accurate":  tot.Accurate,
+			"degraded":  tot.Degraded,
+			"dropped":   tot.Dropped,
+			"joules":    tot.Joules,
+		})
+	})
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		fmt.Fprintln(w, "ok")
+	})
+
+	httpSrv := &http.Server{Addr: *addr, Handler: mux}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	go func() {
+		<-ctx.Done()
+		shutCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		_ = httpSrv.Shutdown(shutCtx)
+	}()
+	log.Printf("sigserve: %s backend on %s (period %v, queue %d, minratio %.2f)",
+		backend.Name, *addr, *period, *queue, *minRatio)
+	if err := httpSrv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		fmt.Fprintln(os.Stderr, "sigserve:", err)
+		os.Exit(1)
+	}
+	if err := srv.Close(); err != nil {
+		fmt.Fprintln(os.Stderr, "sigserve:", err)
+		os.Exit(1)
+	}
+	tot := srv.Totals()
+	log.Printf("sigserve: served %d (%d acc / %d deg / %d drop), rejected %d, %.4f J modeled",
+		tot.Completed, tot.Accurate, tot.Degraded, tot.Dropped, tot.Rejected, tot.Joules)
+}
+
+// requestSignificance resolves ?tier= (named) or ?sig= (numeric) to a
+// significance; ok is false when neither is present.
+func requestSignificance(r *http.Request) (sig float64, ok bool, err error) {
+	if tier := r.URL.Query().Get("tier"); tier != "" {
+		s, found := tiers[tier]
+		if !found {
+			return 0, false, fmt.Errorf("unknown tier %q (want gold, silver, bronze or batch)", tier)
+		}
+		return s, true, nil
+	}
+	if raw := r.URL.Query().Get("sig"); raw != "" {
+		s, err := strconv.ParseFloat(raw, 64)
+		if err != nil || s < 0 || s > 1 {
+			return 0, false, fmt.Errorf("sig must be a number in [0,1], got %q", raw)
+		}
+		return s, true, nil
+	}
+	return 0, false, nil
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}

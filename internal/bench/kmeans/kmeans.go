@@ -163,6 +163,52 @@ func (a *App) neighborTable(cent []float64) [][]int16 {
 	return table
 }
 
+// Scorer classifies observations against a fixed trained centroid set —
+// the request body of the serving backends (kmeans scoring). The
+// restricted search's neighbor table depends only on the centroids, so it
+// is computed once here rather than per request.
+type Scorer struct {
+	a     *App
+	cent  []float64
+	table [][]int16
+}
+
+// NewScorer builds a Scorer over the given centroids (K×D row-major).
+func (a *App) NewScorer(cent []float64) *Scorer {
+	return &Scorer{a: a, cent: cent, table: a.neighborTable(cent)}
+}
+
+// Score classifies the observation chunk [lo,hi) and returns its
+// assignments. Restricted mode reuses the approximate kernel's candidate
+// search, seeding each point with its generator-assigned cluster (i % K)
+// instead of a running assignment.
+func (s *Scorer) Score(lo, hi int, restricted bool) []int32 {
+	a := s.a
+	out := make([]int32, hi-lo)
+	for i := lo; i < hi; i++ {
+		var k int
+		if restricted {
+			k, _ = a.nearestAmong(s.cent, i, s.table[i%a.p.K])
+		} else {
+			k, _ = a.nearest(s.cent, i)
+		}
+		out[i-lo] = int32(k)
+	}
+	return out
+}
+
+// ScoreCosts returns the declared cost units of scoring an n-point chunk
+// accurately (all K centroids per point) and restricted (the candidate
+// set), matching the kernel's WithCost model. The restricted search's
+// neighbor table is excluded: it is built once per Scorer, not per chunk.
+func (a *App) ScoreCosts(n int) (accurate, degraded float64) {
+	candidates := 1 + min(approxNeighbors, a.p.K-1)
+	return float64(n * a.p.K * a.p.D * 3), float64(n * candidates * a.p.D * 3)
+}
+
+// Len returns the number of observations.
+func (a *App) Len() int { return a.p.N }
+
 // Sequential runs exact Lloyd iterations to convergence (or MaxIter).
 func (a *App) Sequential() Result {
 	cent := append([]float64(nil), a.init...)

@@ -130,6 +130,30 @@ func (a *App) approxRow(out *imaging.Image, y int) {
 	}
 }
 
+// Thumb renders the frame's full edge map into out with either the
+// accurate 3×3 kernel or the degraded 2-point gradient — the per-request
+// body of the serving backends (sobel thumbnailing). out must be W×H.
+func (a *App) Thumb(out *imaging.Image, accurate bool) {
+	for y := 1; y < a.p.H-1; y++ {
+		if accurate {
+			a.accurateRow(out, y)
+		} else {
+			a.approxRow(out, y)
+		}
+	}
+}
+
+// ThumbCosts returns the declared cost units (~1ns, see sig.WithCost) of an
+// accurate and a degraded Thumb render: the per-row figures SubmitFrame
+// declares, summed over the frame.
+func (a *App) ThumbCosts() (accurate, degraded float64) {
+	rows := float64(a.p.H - 2)
+	return 30 * float64(a.p.W) * rows, 4 * float64(a.p.W) * rows
+}
+
+// Size returns the frame dimensions.
+func (a *App) Size() (w, h int) { return a.p.W, a.p.H }
+
 // PSNR returns the PSNR of res against the reference in dB.
 func (a *App) PSNR(ref, res *imaging.Image) float64 { return imaging.PSNR(ref, res) }
 

@@ -1,0 +1,118 @@
+package harness
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+// TestServeStudyShedsQualityUnderOverload gates the serving tentpole on
+// the acceptance criteria: under the 4x overload step the admission
+// controller degrades the provided ratio instead of queueing unboundedly
+// (latency p99 bounded, nothing rejected), recovers within 8 waves after
+// the step ends, and the modeled joules are bit-identical across runs.
+func TestServeStudyShedsQualityUnderOverload(t *testing.T) {
+	for _, backend := range []string{"sobel", "kmeans"} {
+		backend := backend
+		t.Run(backend, func(t *testing.T) {
+			cfg := ServeConfig{Scale: 0.1, Workers: 4, Backend: backend}
+			res, err := ServeStudy(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.Rejected != 0 {
+				t.Errorf("%d requests rejected: overload must shed quality before requests", res.Rejected)
+			}
+			if res.PreStepRatio < 0.95 {
+				t.Errorf("pre-step ratio %.3f, want ~1 under light load", res.PreStepRatio)
+			}
+			if res.MinStepRatio > res.PreStepRatio-0.3 {
+				t.Errorf("ratio only fell to %.3f during the step (pre-step %.3f)", res.MinStepRatio, res.PreStepRatio)
+			}
+			if res.P99 > 6 {
+				t.Errorf("open-loop p99 latency %d waves, want <= 6 (queue must stay bounded)", res.P99)
+			}
+			if res.RecoveredAfter < 0 || res.RecoveredAfter > 8 {
+				t.Errorf("recovered after %d waves, want within 8 of the step ending", res.RecoveredAfter)
+			}
+			maxDepth := 0
+			for _, row := range res.Rows {
+				maxDepth = max(maxDepth, row.Depth)
+			}
+			if limit := 8 * res.BasePerWave; maxDepth > limit {
+				t.Errorf("queue depth peaked at %d (> %d): shedding did not bound the backlog", maxDepth, limit)
+			}
+			// The stream's drop-only requests (no degraded body) must show
+			// up as drops — charged zero modeled joules by the runtime.
+			if res.Outcomes.Dropped == 0 {
+				t.Error("no dropped outcomes: the drop-only tier was not exercised")
+			}
+			if res.Outcomes.Accurate+res.Outcomes.Degraded+res.Outcomes.Dropped != res.Outcomes.Completed {
+				t.Errorf("outcome conservation broken: %+v", res.Outcomes)
+			}
+			// Closed loop: a saturating client population is served at a
+			// degraded ratio with bounded latency.
+			if res.ClosedRatio > 0.9 {
+				t.Errorf("closed-loop ratio %.3f: %d clients should saturate the budget", res.ClosedRatio, res.Clients)
+			}
+			if res.ClosedP99 > 6 {
+				t.Errorf("closed-loop p99 %d waves, want <= 6", res.ClosedP99)
+			}
+
+			// Bit-identical replay: the modeled joules of every wave and the
+			// ratio trajectory are pure functions of the declared costs.
+			res2, err := ServeStudy(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if math.Float64bits(res.TotalJoules) != math.Float64bits(res2.TotalJoules) {
+				t.Fatalf("total joules diverged across identical runs: %v vs %v", res.TotalJoules, res2.TotalJoules)
+			}
+			for w := range res.Rows {
+				a, b := res.Rows[w], res2.Rows[w]
+				if math.Float64bits(a.Joules) != math.Float64bits(b.Joules) || a.NextRatio != b.NextRatio || a.Admitted != b.Admitted {
+					t.Fatalf("wave %d diverged: %+v vs %+v", w, a, b)
+				}
+			}
+		})
+	}
+}
+
+// TestServeStudyClampsDegenerateWindows: short streams and out-of-range
+// step bounds must be clamped into the stream, never panic.
+func TestServeStudyClampsDegenerateWindows(t *testing.T) {
+	for _, cfg := range []ServeConfig{
+		{Scale: 0.05, Workers: 1, Waves: 6, ClosedWaves: 2},                         // Waves < default StepAt
+		{Scale: 0.05, Workers: 1, Waves: 1, ClosedWaves: 2},                         // degenerate stream
+		{Scale: 0.05, Workers: 1, Waves: 10, StepAt: 20, ClosedWaves: 2},            // StepAt past the end
+		{Scale: 0.05, Workers: 1, Waves: 10, StepAt: 4, StepEnd: 3, ClosedWaves: 2}, // inverted step
+	} {
+		res, err := ServeStudy(cfg)
+		if err != nil {
+			t.Fatalf("%+v: %v", cfg, err)
+		}
+		if res.StepAt < 1 || res.StepAt >= len(res.Rows) || res.StepEnd <= res.StepAt || res.StepEnd > len(res.Rows) {
+			t.Errorf("%+v: step [%d,%d) outside the %d-wave stream", cfg, res.StepAt, res.StepEnd, len(res.Rows))
+		}
+	}
+}
+
+// TestServeStudyPrinterAndBackends covers the flag-facing surface: backend
+// resolution and the printer's summary lines.
+func TestServeStudyPrinterAndBackends(t *testing.T) {
+	if _, err := ServeBackendByName("nope", 1); err == nil {
+		t.Error("unknown backend accepted")
+	}
+	res, err := ServeStudy(ServeConfig{Scale: 0.05, Workers: 2, Waves: 10, StepAt: 3, StepEnd: 6, ClosedWaves: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	PrintServeStudy(&sb, res)
+	out := sb.String()
+	for _, want := range []string{"Serve study (sobel backend)", "open loop:", "closed loop:", "commanded ratio"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("printer output missing %q:\n%s", want, out)
+		}
+	}
+}

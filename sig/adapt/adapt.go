@@ -3,11 +3,14 @@
 // ratio and retunes it wave by wave from the per-wave telemetry the sig
 // runtime publishes through its Observer hook.
 //
-// Two objectives are supported. TargetQuality drives a caller-supplied
+// Three objectives are supported. TargetQuality drives a caller-supplied
 // quality probe to a setpoint using the lowest ratio that holds it — the
 // operator's "hold PSNR above X with minimum energy". TargetEnergy caps the
 // modeled joules per wave while providing the highest ratio the budget
-// affords. Both laws are pure float arithmetic over the wave telemetry (no
+// affords. TargetLoad is TargetEnergy with a pluggable measure: it caps a
+// caller-computed load signal (sig/serve uses it to map queue depth and
+// modeled demand onto the ratio). All laws are pure float arithmetic over
+// the wave telemetry (no
 // clocks, no randomness), so a run with declared task costs and a
 // deterministic policy reproduces the identical ratio trajectory at any
 // worker count — regression-tested under -race.
@@ -46,6 +49,12 @@ const (
 	// TargetEnergy caps the modeled joules per wave at Config.Budget while
 	// providing the highest ratio that fits the cap.
 	TargetEnergy
+	// TargetLoad caps a caller-measured load signal (Config.Measure — e.g.
+	// a serving layer's queue depth or modeled demand vs capacity) at
+	// Config.Budget while providing the highest ratio that fits the cap.
+	// It is TargetEnergy's control law with a pluggable measure: the
+	// signal must be monotone increasing in the ratio.
+	TargetLoad
 )
 
 // Default controller gains. They assume nothing about the probe's units:
@@ -74,8 +83,14 @@ type Config struct {
 	// TargetQuality; called once per wave on the goroutine that invoked
 	// Wait/WaitPhase, after every task of the wave finished.
 	Probe func() float64
-	// Budget is the per-wave modeled-energy cap in joules (TargetEnergy).
+	// Budget is the cap on the regulated variable: modeled joules per wave
+	// for TargetEnergy, the Measure signal's units for TargetLoad.
 	Budget float64
+	// Measure maps the completed wave's telemetry to the regulated load
+	// signal. Required for TargetLoad; called once per wave on the
+	// goroutine that invoked Wait/WaitPhase, so it may also read state the
+	// caller updates between waves (queue depths, arrival counts).
+	Measure func(ws sig.WaveStats) float64
 	// Gain, MaxStep and Deadband override the defaults when positive.
 	Gain     float64
 	MaxStep  float64
@@ -114,7 +129,8 @@ type Sample struct {
 	Ratio     float64
 	NextRatio float64
 	// Measure is the regulated variable: the probe's value under
-	// TargetQuality, the wave's modeled joules under TargetEnergy.
+	// TargetQuality, the wave's modeled joules under TargetEnergy, the
+	// Config.Measure signal under TargetLoad.
 	Measure float64
 	// ProvidedRatio, Joules and Dropped echo the wave telemetry.
 	ProvidedRatio float64
@@ -154,6 +170,13 @@ func New(cfg Config) (*Controller, error) {
 		if !(cfg.Budget > 0) {
 			return nil, fmt.Errorf("adapt: TargetEnergy requires a positive Budget, got %v", cfg.Budget)
 		}
+	case TargetLoad:
+		if cfg.Measure == nil {
+			return nil, fmt.Errorf("adapt: TargetLoad requires a Measure")
+		}
+		if !(cfg.Budget > 0) {
+			return nil, fmt.Errorf("adapt: TargetLoad requires a positive Budget, got %v", cfg.Budget)
+		}
 	default:
 		return nil, fmt.Errorf("adapt: unknown objective %d", cfg.Objective)
 	}
@@ -167,16 +190,25 @@ func New(cfg Config) (*Controller, error) {
 }
 
 // ObserveWave implements sig.Observer: it regulates the configured group
-// and ignores every other. Empty waves (Close's final drain, foreign
-// taskwaits) carry no information and leave the controller untouched.
+// and ignores every other. For TargetQuality and TargetEnergy, empty waves
+// (Close's final drain, foreign taskwaits) carry no information and leave
+// the controller untouched. For TargetLoad an empty wave IS informative —
+// zero demand — and is processed, so a load-shedding server recovers its
+// ratio while idle instead of freezing at the last overload's value.
 func (c *Controller) ObserveWave(g *sig.Group, ws sig.WaveStats) {
-	if g.Name() != c.cfg.Group || ws.Submitted == 0 {
+	if g.Name() != c.cfg.Group {
+		return
+	}
+	if ws.Submitted == 0 && c.cfg.Objective != TargetLoad {
 		return
 	}
 	var measure float64
-	if c.cfg.Objective == TargetQuality {
+	switch c.cfg.Objective {
+	case TargetQuality:
 		measure = c.cfg.Probe()
-	} else {
+	case TargetLoad:
+		measure = c.cfg.Measure(ws)
+	default:
 		measure = ws.Joules
 	}
 	c.mu.Lock()
@@ -199,7 +231,8 @@ func (c *Controller) ObserveWave(g *sig.Group, ws sig.WaveStats) {
 // the measured variable, pick the next ratio. Caller holds c.mu.
 func (c *Controller) step(ratio, measure float64) (next float64, held bool) {
 	setpoint := c.cfg.Setpoint
-	if c.cfg.Objective == TargetEnergy {
+	isCap := c.cfg.Objective != TargetQuality // energy and load budgets are caps
+	if isCap {
 		setpoint = c.cfg.Budget
 	}
 	scale := math.Max(math.Abs(setpoint), 1e-12)
@@ -224,7 +257,7 @@ func (c *Controller) step(ratio, measure float64) (next float64, held bool) {
 	err := setpoint - measure
 	band := 2 * c.cfg.deadband() * scale
 	var inBand bool
-	if c.cfg.Objective == TargetEnergy {
+	if isCap {
 		inBand = measure <= setpoint && setpoint-measure <= band
 	} else {
 		inBand = measure >= setpoint && measure-setpoint <= band

@@ -151,6 +151,51 @@ func TestEnergyTargetReplayAndCap(t *testing.T) {
 	}
 }
 
+// TestLoadTargetCapsCustomMeasure: TargetLoad regulates a caller-computed
+// signal with cap semantics — the steady state provides the highest ratio
+// whose load fits the budget, and the trajectory replays identically across
+// worker counts. The synthetic measure is linear in the ratio (load =
+// 0.4 + 1.6*ratio, so load = 1.2 exactly at ratio 0.5), mirroring how
+// sig/serve prices demand from declared request costs.
+func TestLoadTargetCapsCustomMeasure(t *testing.T) {
+	const waves, n = 15, 128
+	mk := func(func() float64) *adapt.Controller {
+		ctl, err := adapt.New(adapt.Config{
+			Group:     "stream",
+			Objective: adapt.TargetLoad,
+			Budget:    1.2,
+			Measure: func(ws sig.WaveStats) float64 {
+				return 0.4 + 1.6*ws.RequestedRatio
+			},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return ctl
+	}
+	var want []float64
+	for _, workers := range []int{1, 4} {
+		trace := streamWorkload(t, workers, waves, n, 1.0, mk)
+		got := trajectory(trace)
+		if want == nil {
+			want = got
+		} else {
+			for i := range want {
+				if got[i] != want[i] {
+					t.Fatalf("workers=%d: load trajectory diverged at wave %d: %v vs %v", workers, i, got, want)
+				}
+			}
+		}
+		last := trace[len(trace)-1]
+		if last.Measure > 1.2*(1+1e-9) {
+			t.Errorf("workers=%d: steady-state load %.4f exceeds the 1.2 cap", workers, last.Measure)
+		}
+		if math.Abs(last.NextRatio-0.5) > 0.05 {
+			t.Errorf("workers=%d: steady-state ratio %.3f, want within 0.05 of the analytic 0.5", workers, last.NextRatio)
+		}
+	}
+}
+
 // TestQualityConvergesToSetpointFloor: the controller must settle at the
 // cheapest ratio holding the probe at or above the setpoint — approaching
 // from below (step response up) and from above (minimal energy seeking).
@@ -208,6 +253,8 @@ func TestConfigValidation(t *testing.T) {
 		{Objective: adapt.TargetQuality, Setpoint: math.Inf(1), Probe: func() float64 { return 0 }}, // bad setpoint
 		{Objective: adapt.TargetEnergy},                                                             // no budget
 		{Objective: adapt.TargetEnergy, Budget: -2},                                                 // negative budget
+		{Objective: adapt.TargetLoad, Budget: 1},                                                    // no measure
+		{Objective: adapt.TargetLoad, Measure: func(sig.WaveStats) float64 { return 0 }},            // no budget
 		{Objective: adapt.Objective(42)},                                                            // unknown objective
 		{Objective: adapt.TargetEnergy, Budget: 1, Min: 0.9, Max: 0.1},                              // inverted bounds
 		{Objective: adapt.TargetEnergy, Budget: 1, Min: -0.5},                                       // out-of-range bound

@@ -15,7 +15,9 @@ import (
 //	data[1]       requested ratio, quantized to data[1]/255
 //	data[2]       worker count (1..8) and batch-vs-scalar (high bit)
 //	data[3]       GTB window / LQH history parameter
-//	data[4]       flags: bit0 = the ratio changes at wave boundaries
+//	data[4]       flags: bit0 = the ratio changes at wave boundaries;
+//	              bit1 = every third task carries no approximate body
+//	              (approximate decisions on it are task drops)
 //	data[5:]      the task stream: 255 is a taskwait boundary (followed,
 //	              when ratio changes are enabled, by one byte of new
 //	              ratio); any other byte v is a task of significance v/254
@@ -40,6 +42,7 @@ func FuzzPolicyDecisions(f *testing.F) {
 	f.Add([]byte{3, 64, 4, 8, 0, 0, 254, 0, 254, 0, 254, 127})
 	f.Add([]byte{0, 255, 1, 1, 0, 255, 1, 255, 2, 255, 3, 255})
 	f.Add([]byte{1, 25, 7, 64, 1, 200, 200, 200, 255, 230, 50, 50, 50, 255, 10, 100, 100})
+	f.Add([]byte{2, 85, 130, 16, 2, 127, 0, 254, 127, 60, 255, 60, 127, 0, 200})
 
 	kinds := []PolicyKind{PolicyGTB, PolicyGTBMaxBuffer, PolicyLQH, PolicyPerforation}
 	f.Fuzz(func(t *testing.T, data []byte) {
@@ -52,6 +55,10 @@ func FuzzPolicyDecisions(f *testing.F) {
 		batch := data[2]&0x80 != 0
 		param := int(data[3]) % 64
 		ratioChanges := data[4]&1 != 0
+		noApprox := 0
+		if data[4]&2 != 0 {
+			noApprox = 3
+		}
 		stream := data[5:]
 		if len(stream) > 2048 {
 			stream = stream[:2048]
@@ -82,7 +89,7 @@ func FuzzPolicyDecisions(f *testing.F) {
 					s = 0
 				}
 				rt.Submit(sp.Fn, WithLabel(g), WithSignificance(s),
-					WithApprox(sp.Approx), WithCost(10, 1))
+					WithApprox(sp.Approx), WithCost(10, 1)) // Approx may be nil: a drop
 			}
 		}
 		var pending []TaskSpec
@@ -106,9 +113,11 @@ func FuzzPolicyDecisions(f *testing.F) {
 			ranApx = append(ranApx, false)
 			spec := TaskSpec{
 				Fn:           func() { ranAcc[i] = true },
-				Approx:       func() { ranApx[i] = true },
 				Significance: s,
 				HasCost:      true, CostAccurate: 10, CostApprox: 1,
+			}
+			if noApprox == 0 || i%noApprox != 0 {
+				spec.Approx = func() { ranApx[i] = true }
 			}
 			if s == 0 {
 				spec.Significance = -1 // batch spelling of the special 0.0
@@ -120,7 +129,7 @@ func FuzzPolicyDecisions(f *testing.F) {
 
 		st := rt.Stats()
 		gs := st.Groups[0]
-		sc := invScenario{kind: kind, workers: workers, ratio: ratio, sigs: sigs, batch: batch, waves: waves}
+		sc := invScenario{kind: kind, workers: workers, ratio: ratio, sigs: sigs, batch: batch, waves: waves, noApprox: noApprox}
 		out := invOutcome{ranAcc: ranAcc, ranApx: ranApx}
 		if ratioChanges {
 			checkConservationAndSpecials(t, sc, out, gs, provided)

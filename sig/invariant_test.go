@@ -12,7 +12,9 @@ import (
 // submission) scenarios, the core contracts of the model must hold:
 //
 //  1. conservation — Stats totals satisfy submitted = accurate +
-//     approximate + dropped, per group and runtime-wide;
+//     approximate + dropped, per group and runtime-wide; a task decided
+//     approximate without an approximate body runs nothing and counts as
+//     dropped (scenarios with noApprox > 0 exercise this);
 //  2. specials — significance-1.0 tasks always run their accurate body and
 //     are never dropped; significance-0.0 tasks never run accurately;
 //  3. ratio floor — over the policy-decided tasks (0 < sig < 1), the
@@ -37,6 +39,16 @@ type invScenario struct {
 	waves      int // number of taskwait boundaries the stream is cut into
 	gtbWindow  int
 	lqhHistory int
+	// noApprox > 0 omits the approximate body from every noApprox-th task
+	// (index i with i%noApprox == 0): an approximate decision on such a
+	// task is the model's task dropping and must be counted dropped.
+	noApprox int
+}
+
+// hasApprox reports whether task i of the scenario carries an approximate
+// body.
+func (sc invScenario) hasApprox(i int) bool {
+	return sc.noApprox == 0 || i%sc.noApprox != 0
 }
 
 // invOutcome records what actually ran, via instrumented task bodies.
@@ -107,20 +119,26 @@ func runScenario(t *testing.T, sc invScenario) (invOutcome, GroupStats, float64)
 				}
 				specs[i-lo] = TaskSpec{
 					Fn:           func() { out.ranAcc[i] = true },
-					Approx:       func() { out.ranApx[i] = true },
 					Significance: s,
 					HasCost:      true, CostAccurate: 10, CostApprox: 1,
+				}
+				if sc.hasApprox(i) {
+					specs[i-lo].Approx = func() { out.ranApx[i] = true }
 				}
 			}
 			rt.SubmitBatch(g, specs)
 		} else {
 			for i := lo; i < hi; i++ {
 				i := i
-				rt.Submit(func() { out.ranAcc[i] = true },
+				opts := []TaskOption{
 					WithLabel(g),
 					WithSignificance(sc.sigs[i]),
-					WithApprox(func() { out.ranApx[i] = true }),
-					WithCost(10, 1))
+					WithCost(10, 1),
+				}
+				if sc.hasApprox(i) {
+					opts = append(opts, WithApprox(func() { out.ranApx[i] = true }))
+				}
+				rt.Submit(func() { out.ranAcc[i] = true }, opts...)
 			}
 		}
 		provided = rt.Wait(g)
@@ -136,7 +154,7 @@ func checkInvariants(t *testing.T, sc invScenario, out invOutcome, gs GroupStats
 	n := len(sc.sigs)
 
 	// 1. Conservation.
-	if gs.Submitted != n {
+	if gs.Submitted != int64(n) {
 		t.Errorf("submitted %d, want %d", gs.Submitted, n)
 	}
 	if got := gs.Accurate + gs.Approximate + gs.Dropped; got != gs.Submitted {
@@ -145,8 +163,11 @@ func checkInvariants(t *testing.T, sc invScenario, out invOutcome, gs GroupStats
 	}
 
 	// Cross-check Stats against the instrumented bodies. A task that ran
-	// neither body was dropped (every task carries an approximate body).
-	acc, apx, drop := 0, 0, 0
+	// neither body counts as dropped: either the policy dropped it, or it
+	// was decided approximate while carrying no approximate body — the
+	// model's task-dropping degradation, which the runtime must classify
+	// as a drop, not an approximate execution.
+	acc, apx, drop := int64(0), int64(0), int64(0)
 	for i := range sc.sigs {
 		switch {
 		case out.ranAcc[i] && out.ranApx[i]:
@@ -253,6 +274,7 @@ func TestPolicyInvariants(t *testing.T) {
 					waves:      1 + r.Intn(4),
 					gtbWindow:  []int{0, 8, 64}[r.Intn(3)],
 					lqhHistory: []int{0, 4, 64}[r.Intn(3)],
+					noApprox:   []int{0, 0, 2, 3}[r.Intn(4)],
 				}
 				name := fmt.Sprintf("trial%02d-%s-r%.2f-w%d-batch%v", trial, dist.name, sc.ratio, sc.workers, sc.batch)
 				t.Run(name, func(t *testing.T) {

@@ -1,0 +1,141 @@
+package serve
+
+import (
+	"math"
+	"testing"
+)
+
+// FuzzServeAdmission feeds adversarial request/wave schedules through the
+// admission path and checks the serving contracts:
+//
+//   - every accepted ticket completes with exactly one outcome, and the
+//     per-outcome totals conserve (accurate+degraded+dropped = completed =
+//     accepted);
+//   - accepted + rejected = attempted;
+//   - the admission queue never exceeds its limit;
+//   - the commanded ratio respects the MinRatio contract;
+//   - the modeled energy account equals the declared cost of what actually
+//     ran: accurate outcomes charge their accurate cost, degraded outcomes
+//     their degraded cost, dropped outcomes exactly nothing (the runtime's
+//     skipped-task accounting fix, exercised under adversarial schedules).
+//
+// Input encoding (every byte string is valid):
+//
+//	data[0]  workers (1..4)
+//	data[1]  queue limit (1..32)
+//	data[2]  wave budget, in accurate-request units (1..16)
+//	data[3]  MinRatio, quantized to data[3]/255 * 0.8
+//	data[4:] op stream: 0 runs a wave; any other byte v submits a request
+//	         with significance (v%11)/10, a degraded body iff v%3 != 0,
+//	         and declared costs derived from v.
+func FuzzServeAdmission(f *testing.F) {
+	f.Add([]byte{1, 8, 4, 0, 7, 7, 7, 0, 9, 9, 0})
+	f.Add([]byte{2, 2, 1, 128, 3, 6, 9, 12, 0, 3, 6, 9, 12, 0, 0})
+	f.Add([]byte{4, 32, 16, 64, 255, 254, 253, 1, 2, 3, 0, 255, 1, 0})
+	f.Add([]byte{3, 1, 2, 255, 11, 22, 33, 44, 55, 66, 77, 88, 99, 0})
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) < 5 {
+			t.Skip()
+		}
+		minRatio := float64(data[3]) / 255 * 0.8
+		cfg := Config{
+			Workers:    1 + int(data[0])%4,
+			QueueLimit: 1 + int(data[1])%32,
+			WaveBudget: float64(1+int(data[2])%16) * 1000,
+			MinRatio:   minRatio,
+		}
+		s, err := New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ops := data[4:]
+		if len(ops) > 1024 {
+			ops = ops[:1024]
+		}
+
+		type accepted struct {
+			tk       *Ticket
+			acc, deg float64 // declared costs
+			hasDeg   bool
+		}
+		var tks []accepted
+		attempted, rejected := 0, 0
+		for _, v := range ops {
+			if v == 0 {
+				if rep := s.RunWave(); rep.NextRatio < minRatio-1e-9 {
+					t.Fatalf("commanded ratio %.4f below MinRatio %.4f", rep.NextRatio, minRatio)
+				}
+				continue
+			}
+			req := Request{
+				Significance: float64(int(v)%11) / 10,
+				Handler:      func() {},
+				CostAccurate: float64(100 + 10*int(v)),
+				CostDegraded: float64(1 + int(v)%50),
+			}
+			hasDeg := v%3 != 0
+			if hasDeg {
+				req.Degraded = func() {}
+			}
+			attempted++
+			tk, err := s.Submit(req)
+			if err != nil {
+				rejected++
+				continue
+			}
+			tks = append(tks, accepted{tk: tk, acc: req.CostAccurate, deg: req.CostDegraded, hasDeg: hasDeg})
+			if d := s.Depth(); d > cfg.QueueLimit {
+				t.Fatalf("queue depth %d above limit %d", d, cfg.QueueLimit)
+			}
+		}
+		if err := s.Close(); err != nil {
+			t.Fatal(err)
+		}
+
+		if attempted != len(tks)+rejected {
+			t.Fatalf("attempted %d != accepted %d + rejected %d", attempted, len(tks), rejected)
+		}
+		var acc, deg, drop int64
+		var wantCost float64
+		for i, a := range tks {
+			select {
+			case <-a.tk.Done():
+			default:
+				t.Fatalf("ticket %d not completed by Close", i)
+			}
+			switch a.tk.Outcome() {
+			case OutcomeAccurate:
+				acc++
+				wantCost += a.acc
+			case OutcomeDegraded:
+				deg++
+				if !a.hasDeg {
+					t.Fatalf("ticket %d reported degraded without a degraded body", i)
+				}
+				wantCost += a.deg
+			case OutcomeDropped:
+				drop++ // contributes zero cost by contract
+				if a.hasDeg {
+					t.Fatalf("ticket %d with a degraded body was dropped", i)
+				}
+			}
+			if lat := a.tk.WaveLatency(); lat < 1 {
+				t.Fatalf("ticket %d wave latency %d < 1", i, lat)
+			}
+		}
+		tot := s.Totals()
+		if tot.Completed != int64(len(tks)) || tot.Accurate != acc || tot.Degraded != deg || tot.Dropped != drop {
+			t.Fatalf("totals %+v disagree with tickets %d/%d/%d over %d", tot, acc, deg, drop, len(tks))
+		}
+		if tot.Rejected != int64(rejected) {
+			t.Fatalf("rejected total %d, want %d", tot.Rejected, rejected)
+		}
+		rep := s.Energy()
+		want := rep.ActiveWatts * wantCost * 1e-9
+		if math.Abs(rep.Joules-want) > 1e-9*(1+math.Abs(want)) {
+			t.Fatalf("modeled %.12f J, want %.12f J from declared costs (dropped must charge 0)",
+				rep.Joules, want)
+		}
+	})
+}

@@ -1,0 +1,596 @@
+// Package serve is the significance-aware load-shedding serving layer: it
+// maps request traffic onto the sig runtime as significance-annotated task
+// waves, so overload sheds result quality before it sheds requests.
+//
+// Callers submit Requests carrying a significance (user tier, staleness
+// tolerance) and, optionally, a cheap Degraded handler. Admitted requests
+// queue until the next wave; each wave the server pops requests up to a
+// modeled work budget, submits them as one batch and taskwaits. An
+// admission controller (adapt.TargetLoad) observes every wave and maps the
+// measured load — queue depth and modeled joules of demand vs per-wave
+// capacity, both computed from declared request costs — onto the group's
+// accuracy ratio: as load climbs past the cap, the ratio drops and requests
+// run their degraded handlers (or are skipped entirely, the model's task
+// dropping), which shrinks per-request cost and raises throughput. Only
+// when the queue is full despite maximum degradation does Submit reject —
+// quality sheds first, requests last.
+//
+// With declared costs, a deterministic policy (the default GTB max
+// buffering) and a deterministic arrival order, the whole closed loop —
+// ratio trajectory, per-request outcomes, modeled joules — replays
+// bit-identically; harness.ServeStudy and the regression suite rely on it.
+package serve
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/sig"
+	"repro/sig/adapt"
+)
+
+// Defaults for Config's zero fields.
+const (
+	// DefaultQueueLimit bounds the admission queue.
+	DefaultQueueLimit = 4096
+	// DefaultWavePeriod is the Start pump's wave cadence, and the basis of
+	// the default wave budget.
+	DefaultWavePeriod = 5 * time.Millisecond
+	// DefaultTargetLoad is the load cap the admission controller regulates
+	// to: 1.0 = modeled demand equals modeled per-wave capacity.
+	DefaultTargetLoad = 1.0
+	// DefaultDrainGain is the fraction of the queued backlog the load
+	// signal asks each wave to absorb on top of fresh arrivals.
+	DefaultDrainGain = 0.5
+	// DefaultRequestCost is the admission estimate (in cost units, ~1ns)
+	// for requests that declare no accurate cost.
+	DefaultRequestCost = 100_000
+)
+
+// Request is one unit of service traffic.
+type Request struct {
+	// Significance in [0,1] orders requests for degradation: higher
+	// values keep their accurate handler longer as load climbs. The
+	// special values bypass the policy — 1.0 (e.g. a premium tier) always
+	// runs Handler, 0.0 (e.g. a best-effort prefetch) never does.
+	Significance float64
+	// Handler is the accurate request body (required).
+	Handler func()
+	// Degraded is the optional cheap body run when the request is shed to
+	// approximate execution (a coarser thumbnail, a stale cache fill). A
+	// request shed without one is skipped entirely — OutcomeDropped — and
+	// contributes zero modeled joules.
+	Degraded func()
+	// CostAccurate/CostDegraded declare the handlers' nominal work in
+	// cost units (~1ns, see sig.WithCost). Declared costs make admission
+	// pacing and the modeled energy account deterministic; a request
+	// without them is paced at DefaultRequestCost and its execution time
+	// is measured instead. Declarations are all-or-nothing per handler
+	// pair: Submit rejects a CostDegraded without a CostAccurate, and a
+	// Degraded handler whose cost is left undeclared while CostAccurate
+	// is set — half-declared costs would silently model shed work as free.
+	CostAccurate float64
+	CostDegraded float64
+}
+
+// Outcome is how a completed request was ultimately served.
+type Outcome int
+
+const (
+	// OutcomeAccurate: the full-quality Handler ran.
+	OutcomeAccurate Outcome = iota
+	// OutcomeDegraded: the Degraded handler ran.
+	OutcomeDegraded
+	// OutcomeDropped: the request was shed without running any body.
+	OutcomeDropped
+)
+
+func (o Outcome) String() string {
+	switch o {
+	case OutcomeAccurate:
+		return "accurate"
+	case OutcomeDegraded:
+		return "degraded"
+	case OutcomeDropped:
+		return "dropped"
+	}
+	return fmt.Sprintf("Outcome(%d)", int(o))
+}
+
+// Ticket tracks one admitted request through its wave.
+type Ticket struct {
+	done     chan struct{}
+	outcome  atomic.Int32
+	enqWave  int64
+	doneWave int64
+	enqueued time.Time
+	finished time.Time
+}
+
+// Done is closed when the request's wave completed.
+func (tk *Ticket) Done() <-chan struct{} { return tk.done }
+
+// Wait blocks until the request's wave completed and returns the outcome.
+func (tk *Ticket) Wait() Outcome {
+	<-tk.done
+	return Outcome(tk.outcome.Load())
+}
+
+// Outcome returns how the request was served; valid once Done is closed.
+func (tk *Ticket) Outcome() Outcome { return Outcome(tk.outcome.Load()) }
+
+// WaveLatency is the request's queueing+service delay in waves (≥ 1);
+// valid once Done is closed. It is the deterministic latency metric of the
+// wave-driven studies.
+func (tk *Ticket) WaveLatency() int { return int(tk.doneWave - tk.enqWave + 1) }
+
+// Latency is the wall-clock submit-to-completion delay; valid once Done is
+// closed.
+func (tk *Ticket) Latency() time.Duration { return tk.finished.Sub(tk.enqueued) }
+
+// Errors returned by Submit.
+var (
+	// ErrQueueFull: the admission queue is at QueueLimit — the request is
+	// shed. Under the admission controller this only happens once quality
+	// degradation alone can no longer absorb the offered load.
+	ErrQueueFull = errors.New("serve: admission queue full")
+	// ErrClosed: the server is shutting down.
+	ErrClosed = errors.New("serve: server closed")
+)
+
+// Config parameterizes a Server. Zero fields take defaults.
+type Config struct {
+	// Workers and Policy configure the underlying sig runtime. Zero
+	// workers means GOMAXPROCS. The zero Policy is replaced by GTB max
+	// buffering (the deterministic significance oracle): PolicyAccurate
+	// cannot shed quality, so a server that must never degrade should set
+	// MinRatio to 1 instead.
+	Workers int
+	Policy  sig.PolicyKind
+	// Group names the serving task group (default "serve").
+	Group string
+	// QueueLimit bounds the admission queue; Submit returns ErrQueueFull
+	// beyond it (default DefaultQueueLimit).
+	QueueLimit int
+	// WaveBudget is the modeled work (cost units, ~1ns) admitted per wave
+	// — the server's modeled capacity. Default: resolved workers ×
+	// WavePeriod in nanoseconds.
+	WaveBudget float64
+	// TargetLoad is the cap the admission controller holds the load
+	// signal under (default DefaultTargetLoad). Lower values keep more
+	// headroom at the price of earlier degradation.
+	TargetLoad float64
+	// DrainGain weights queued backlog in the load signal (default
+	// DefaultDrainGain): each wave is asked to absorb fresh arrivals plus
+	// this fraction of the backlog.
+	DrainGain float64
+	// MinRatio floors the admission controller's ratio — the service's
+	// quality contract. 0 allows full degradation.
+	MinRatio float64
+	// EnergyBudget, when positive, additionally caps modeled joules per
+	// wave (power capping): the load signal takes the max of the demand
+	// term and joules/EnergyBudget.
+	EnergyBudget float64
+	// WavePeriod is Start's pump cadence (default DefaultWavePeriod).
+	WavePeriod time.Duration
+	// DefaultCost is the admission pacing estimate for requests without
+	// declared costs (default DefaultRequestCost).
+	DefaultCost float64
+}
+
+func (c Config) withDefaults(workers int) Config {
+	if c.Group == "" {
+		c.Group = "serve"
+	}
+	if c.QueueLimit <= 0 {
+		c.QueueLimit = DefaultQueueLimit
+	}
+	if c.WavePeriod <= 0 {
+		c.WavePeriod = DefaultWavePeriod
+	}
+	if c.WaveBudget <= 0 {
+		c.WaveBudget = float64(workers) * float64(c.WavePeriod.Nanoseconds())
+	}
+	if c.TargetLoad <= 0 {
+		c.TargetLoad = DefaultTargetLoad
+	}
+	if c.DrainGain <= 0 {
+		c.DrainGain = DefaultDrainGain
+	}
+	if c.DefaultCost <= 0 {
+		c.DefaultCost = DefaultRequestCost
+	}
+	return c
+}
+
+// pending is one queued request.
+type pending struct {
+	req Request
+	tk  *Ticket
+}
+
+// costSums aggregates declared request costs so the load signal is O(1) in
+// the queue length.
+type costSums struct {
+	acc float64 // Σ accurate cost
+	deg float64 // Σ degraded cost (0 contribution for drop-only requests)
+}
+
+func (s *costSums) add(c costSums)      { s.acc += c.acc; s.deg += c.deg }
+func (s *costSums) sub(c costSums)      { s.acc -= c.acc; s.deg -= c.deg }
+func (s costSums) at(r float64) float64 { return r*s.acc + (1-r)*s.deg }
+
+// WaveReport is the telemetry of one serving wave.
+type WaveReport struct {
+	// Wave is the wave index.
+	Wave int
+	// Admitted is how many requests the wave served; Accurate, Degraded
+	// and Dropped split them by outcome.
+	Admitted int
+	Accurate int
+	Degraded int
+	Dropped  int
+	// Depth is the admission-queue depth after the wave's admissions.
+	Depth int
+	// Ratio ran the wave; NextRatio is what the admission controller
+	// commanded for the next one; Provided is the wave's accurate
+	// fraction.
+	Ratio     float64
+	NextRatio float64
+	Provided  float64
+	// Load is the signal the admission controller regulated this wave
+	// (demand+backlog over capacity, see package doc).
+	Load float64
+	// Joules is the wave's modeled energy.
+	Joules float64
+	// Stats is the underlying wave telemetry.
+	Stats sig.WaveStats
+}
+
+// Totals is the server's cumulative accounting.
+type Totals struct {
+	Submitted int64
+	Rejected  int64
+	Completed int64
+	Accurate  int64
+	Degraded  int64
+	Dropped   int64
+	Waves     int64
+	Joules    float64
+}
+
+// Server admits requests as significance-annotated task waves over a sig
+// runtime. Create one with New; drive waves explicitly with RunWave (the
+// deterministic study mode) or let Start pump them every WavePeriod; stop
+// with Close.
+type Server struct {
+	cfg   Config
+	rt    *sig.Runtime
+	grp   *sig.Group
+	ctl   *adapt.Controller
+	watts float64
+
+	mu       sync.Mutex
+	queue    []*pending
+	qCost    costSums // declared costs of the queued backlog
+	arrCost  costSums // declared costs of arrivals since the last wave
+	closed   bool
+	lastLoad float64
+
+	wave atomic.Int64
+	tot  struct {
+		submitted, rejected, completed atomic.Int64
+		accurate, degraded, dropped    atomic.Int64
+		joules                         atomic.Uint64 // math.Float64bits
+	}
+
+	pumpStop chan struct{}
+	pumpDone chan struct{}
+}
+
+// New builds and starts a Server (its runtime workers start immediately;
+// waves only run via RunWave or after Start).
+func New(cfg Config) (*Server, error) {
+	if cfg.Workers < 0 {
+		return nil, fmt.Errorf("serve: negative worker count %d", cfg.Workers)
+	}
+	if cfg.MinRatio < 0 || cfg.MinRatio > 1 {
+		return nil, fmt.Errorf("serve: MinRatio %v outside [0,1]", cfg.MinRatio)
+	}
+	workers := cfg.Workers
+	if workers == 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	cfg = cfg.withDefaults(workers)
+	if cfg.Policy == 0 {
+		cfg.Policy = sig.PolicyGTBMaxBuffer
+	}
+
+	s := &Server{cfg: cfg}
+	var err error
+	s.ctl, err = adapt.New(adapt.Config{
+		Group:     cfg.Group,
+		Objective: adapt.TargetLoad,
+		Budget:    cfg.TargetLoad,
+		Measure:   s.measure,
+		Min:       cfg.MinRatio,
+		Max:       1,
+	})
+	if err != nil {
+		return nil, err
+	}
+	s.rt, err = sig.New(sig.Config{
+		Workers:  cfg.Workers,
+		Policy:   cfg.Policy,
+		Observer: s.ctl,
+	})
+	if err != nil {
+		return nil, err
+	}
+	s.watts = s.rt.Energy().ActiveWatts
+	s.grp = s.rt.Group(cfg.Group, 1.0) // start at full quality
+	return s, nil
+}
+
+// Ratio returns the admission controller's current accuracy ratio.
+func (s *Server) Ratio() float64 { return s.grp.Ratio() }
+
+// Depth returns the current admission-queue depth.
+func (s *Server) Depth() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.queue)
+}
+
+// Totals returns the cumulative serving counters.
+func (s *Server) Totals() Totals {
+	return Totals{
+		Submitted: s.tot.submitted.Load(),
+		Rejected:  s.tot.rejected.Load(),
+		Completed: s.tot.completed.Load(),
+		Accurate:  s.tot.accurate.Load(),
+		Degraded:  s.tot.degraded.Load(),
+		Dropped:   s.tot.dropped.Load(),
+		Waves:     s.wave.Load(),
+		Joules:    math.Float64frombits(s.tot.joules.Load()),
+	}
+}
+
+// reqCosts returns the request's declared cost sums, substituting the
+// pacing default for undeclared accurate costs. Requests without a Degraded
+// handler contribute zero degraded cost: shedding them to approximate
+// execution skips them entirely.
+func (s *Server) reqCosts(req *Request) costSums {
+	c := costSums{acc: req.CostAccurate}
+	if c.acc <= 0 {
+		c.acc = s.cfg.DefaultCost
+	}
+	if req.Degraded != nil {
+		c.deg = req.CostDegraded
+	}
+	return c
+}
+
+// Submit admits a request into the next wave. It returns ErrQueueFull when
+// the admission queue is at its limit (the request is shed) and ErrClosed
+// on a shut-down server; otherwise the Ticket tracks the request to
+// completion.
+func (s *Server) Submit(req Request) (*Ticket, error) {
+	if req.Handler == nil {
+		return nil, fmt.Errorf("serve: Submit with nil Handler")
+	}
+	if req.CostAccurate < 0 || req.CostDegraded < 0 {
+		return nil, fmt.Errorf("serve: negative request cost (%v/%v)", req.CostAccurate, req.CostDegraded)
+	}
+	if req.CostAccurate == 0 && req.CostDegraded > 0 {
+		return nil, fmt.Errorf("serve: CostDegraded declared without CostAccurate")
+	}
+	if req.CostAccurate > 0 && req.Degraded != nil && req.CostDegraded == 0 {
+		return nil, fmt.Errorf("serve: request declares CostAccurate but not the Degraded handler's cost")
+	}
+	s.tot.submitted.Add(1)
+	tk := &Ticket{done: make(chan struct{}), enqueued: time.Now()}
+	tk.outcome.Store(int32(OutcomeDropped))
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		s.tot.rejected.Add(1)
+		return nil, ErrClosed
+	}
+	if len(s.queue) >= s.cfg.QueueLimit {
+		s.mu.Unlock()
+		s.tot.rejected.Add(1)
+		return nil, ErrQueueFull
+	}
+	tk.enqWave = s.wave.Load()
+	c := s.reqCosts(&req)
+	s.qCost.add(c)
+	s.arrCost.add(c)
+	s.queue = append(s.queue, &pending{req: req, tk: tk})
+	s.mu.Unlock()
+	return tk, nil
+}
+
+// measure is the admission controller's load signal, evaluated at the wave
+// boundary (inside RunWave's taskwait): the modeled cost of fresh arrivals
+// plus a DrainGain share of the backlog, both priced at the wave's ratio,
+// over the per-wave capacity — and, with an EnergyBudget, the wave's
+// modeled joules over that budget, whichever is larger. Both terms are
+// monotone increasing in the ratio, which is what lets the secant law of
+// adapt.TargetLoad converge in a handful of waves.
+func (s *Server) measure(ws sig.WaveStats) float64 {
+	s.mu.Lock()
+	arr, backlog := s.arrCost, s.qCost
+	s.arrCost = costSums{} // next wave accounts fresh arrivals only
+	s.mu.Unlock()
+	r := ws.RequestedRatio
+	load := (arr.at(r) + s.cfg.DrainGain*backlog.at(r)) / s.cfg.WaveBudget
+	if s.cfg.EnergyBudget > 0 {
+		load = math.Max(load, ws.Joules/s.cfg.EnergyBudget)
+	}
+	s.mu.Lock()
+	s.lastLoad = load
+	s.mu.Unlock()
+	return load
+}
+
+// admit pops the next wave's worth of requests: FIFO, while the expected
+// modeled cost at the current ratio fits WaveBudget (always at least one
+// when the queue is non-empty, so a single oversized request cannot wedge
+// the queue).
+func (s *Server) admit() []*pending {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	ratio := s.grp.Ratio()
+	var batch []*pending
+	var cost float64
+	for len(s.queue) > 0 {
+		p := s.queue[0]
+		c := s.reqCosts(&p.req)
+		if len(batch) > 0 && cost+c.at(ratio) > s.cfg.WaveBudget {
+			break
+		}
+		batch = append(batch, p)
+		cost += c.at(ratio)
+		s.qCost.sub(c)
+		s.queue[0] = nil
+		s.queue = s.queue[1:]
+	}
+	if len(s.queue) == 0 && cap(s.queue) > max(64, s.cfg.QueueLimit/8) {
+		s.queue = nil // release a burst-grown backing array once it drains
+	}
+	return batch
+}
+
+// RunWave executes one serving wave: admit a budget's worth of queued
+// requests, run them as one significance-annotated batch, taskwait, and
+// let the admission controller retune the ratio. It is safe to call
+// concurrently with Submit but not with itself; the Start pump serializes
+// its own calls. A wave with nothing to admit still advances the wave
+// epoch (tickets measure latency in waves).
+func (s *Server) RunWave() WaveReport {
+	batch := s.admit()
+	ratio := s.grp.Ratio()
+
+	rep := WaveReport{Wave: int(s.wave.Load()), Admitted: len(batch), Ratio: ratio}
+	if len(batch) > 0 {
+		specs := make([]sig.TaskSpec, len(batch))
+		for i, p := range batch {
+			p := p
+			specs[i] = sig.TaskSpec{
+				Fn: func() {
+					p.req.Handler()
+					p.tk.outcome.Store(int32(OutcomeAccurate))
+				},
+				Significance: p.req.Significance,
+				HasCost:      p.req.CostAccurate > 0,
+				CostAccurate: p.req.CostAccurate,
+				CostApprox:   p.req.CostDegraded,
+			}
+			if p.req.Significance <= 0 {
+				specs[i].Significance = -1 // batch spelling of the special 0.0
+			}
+			if p.req.Degraded != nil {
+				deg := p.req.Degraded
+				specs[i].Approx = func() {
+					deg()
+					p.tk.outcome.Store(int32(OutcomeDegraded))
+				}
+			}
+		}
+		s.rt.SubmitBatch(s.grp, specs)
+	}
+	ws := s.rt.WaitPhase(s.grp) // admission controller observes here
+	wave := s.wave.Add(1) - 1
+	now := time.Now()
+	for _, p := range batch {
+		p.tk.doneWave = wave
+		p.tk.finished = now
+		close(p.tk.done)
+		switch Outcome(p.tk.outcome.Load()) {
+		case OutcomeAccurate:
+			rep.Accurate++
+		case OutcomeDegraded:
+			rep.Degraded++
+		default:
+			rep.Dropped++
+		}
+	}
+	s.tot.completed.Add(int64(len(batch)))
+	s.tot.accurate.Add(int64(rep.Accurate))
+	s.tot.degraded.Add(int64(rep.Degraded))
+	s.tot.dropped.Add(int64(rep.Dropped))
+	for {
+		old := s.tot.joules.Load()
+		if s.tot.joules.CompareAndSwap(old, math.Float64bits(math.Float64frombits(old)+ws.Joules)) {
+			break
+		}
+	}
+
+	s.mu.Lock()
+	rep.Depth = len(s.queue)
+	rep.Load = s.lastLoad
+	s.mu.Unlock()
+	rep.NextRatio = s.grp.Ratio()
+	rep.Provided = ws.ProvidedRatio
+	rep.Joules = ws.Joules
+	rep.Stats = ws
+	return rep
+}
+
+// Start launches the wave pump: one RunWave every WavePeriod until Close.
+func (s *Server) Start() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed || s.pumpStop != nil {
+		return
+	}
+	s.pumpStop = make(chan struct{})
+	s.pumpDone = make(chan struct{})
+	go func(stop, done chan struct{}) {
+		defer close(done)
+		tick := time.NewTicker(s.cfg.WavePeriod)
+		defer tick.Stop()
+		for {
+			select {
+			case <-stop:
+				return
+			case <-tick.C:
+				s.RunWave()
+			}
+		}
+	}(s.pumpStop, s.pumpDone)
+}
+
+// Close stops admitting, drains the queue through final waves (every
+// accepted ticket completes), and shuts the runtime down. It is
+// idempotent; the runtime's energy report stays valid afterwards.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	stop, done := s.pumpStop, s.pumpDone
+	s.mu.Unlock()
+	if stop != nil {
+		close(stop)
+		<-done
+	}
+	for s.Depth() > 0 {
+		s.RunWave()
+	}
+	return s.rt.Close()
+}
+
+// Energy returns the underlying runtime's modeled energy report.
+func (s *Server) Energy() sig.Report { return s.rt.Energy() }
+
+// Stats returns the underlying runtime's task accounting.
+func (s *Server) Stats() sig.Stats { return s.rt.Stats() }

@@ -287,15 +287,16 @@ func (rt *Runtime) defaultGroup() *Group {
 // beginSubmit publishes an in-flight submission on a striped counter and
 // checks the closed flag. Close flips the flag first and then waits for the
 // stripes to drain, so every submission that passed this check fully reaches
-// its queue before the scheduler shuts down.
-func (rt *Runtime) beginSubmit(seq uint64) *inflightShard {
+// its queue before the scheduler shuts down. It reports false on a closed
+// runtime so callers can release any pool-drawn resources before panicking.
+func (rt *Runtime) beginSubmit(seq uint64) (*inflightShard, bool) {
 	s := &rt.inflight[seq%inflightShards]
 	s.n.Add(1)
 	if rt.closed.Load() {
 		s.n.Add(-1)
-		panic("sig: Submit on closed runtime")
+		return nil, false
 	}
-	return s
+	return s, true
 }
 
 // Submit schedules fn as a significance-annotated task. Options attach the
@@ -318,9 +319,16 @@ func (rt *Runtime) Submit(fn func(), opts ...TaskOption) {
 	}
 	g := t.group
 	if g.rt != rt {
+		// The task came from this runtime's pool: hand it back before
+		// panicking so the failed call does not leak it.
+		rt.pools.release(t)
 		panic("sig: task label belongs to a different runtime")
 	}
-	shard := rt.beginSubmit(t.Seq)
+	shard, ok := rt.beginSubmit(t.Seq)
+	if !ok {
+		rt.pools.release(t)
+		panic("sig: Submit on closed runtime")
+	}
 	defer shard.n.Add(-1)
 
 	g.submitted.Add(1)
@@ -398,8 +406,19 @@ func (rt *Runtime) SubmitBatch(g *Group, specs []TaskSpec) {
 	if g.rt != rt {
 		panic("sig: task label belongs to a different runtime")
 	}
+	// Validate every spec before drawing anything from the pools: a nil
+	// body must not leak a half-initialized slab or dispatch a partial
+	// batch before panicking.
+	for i := range specs {
+		if specs[i].Fn == nil {
+			panic("sig: SubmitBatch with nil task body")
+		}
+	}
 	base := rt.seq.Add(uint64(len(specs))) - uint64(len(specs))
-	shard := rt.beginSubmit(base)
+	shard, ok := rt.beginSubmit(base)
+	if !ok {
+		panic("sig: Submit on closed runtime")
+	}
 	defer shard.n.Add(-1)
 
 	g.submitted.Add(int64(len(specs)))
@@ -417,9 +436,6 @@ func (rt *Runtime) SubmitBatch(g *Group, specs []TaskSpec) {
 		chunk := specs[off : off+n]
 		for i := range chunk {
 			sp := &chunk[i]
-			if sp.Fn == nil {
-				panic("sig: SubmitBatch with nil task body")
-			}
 			t := &slab.tasks[i]
 			// Zero value = fully significant (Submit's default);
 			// negative = the special always-approximate 0.0.
@@ -546,10 +562,14 @@ func (rt *Runtime) execute(id int, t *Task) {
 	case DecideApprox:
 		if t.approx != nil {
 			rt.runBody(id, t.approx, t.costApprox)
-		} else if t.costApprox > 0 {
-			rt.clocks[id].busyNS.Add(int64(t.costApprox))
+			g.approximate.Add(1)
+		} else {
+			// Body-less approximate execution is the model's task
+			// dropping: no code runs, so it contributes zero modeled
+			// joules (whatever cost was declared) and counts as dropped,
+			// not approximate.
+			g.dropped.Add(1)
 		}
-		g.approximate.Add(1)
 		g.record(t, false)
 	case DecideDrop:
 		g.dropped.Add(1)
@@ -741,10 +761,10 @@ func (rt *Runtime) Stats() Stats {
 	for _, g := range groups {
 		gs := GroupStats{
 			Name:           g.name,
-			Submitted:      int(g.submitted.Load()),
-			Accurate:       int(g.accurate.Load()),
-			Approximate:    int(g.approximate.Load()),
-			Dropped:        int(g.dropped.Load()),
+			Submitted:      g.submitted.Load(),
+			Accurate:       g.accurate.Load(),
+			Approximate:    g.approximate.Load(),
+			Dropped:        g.dropped.Load(),
 			RequestedRatio: g.Ratio(),
 			ProvidedRatio:  g.providedRatio(),
 			InBytes:        g.inBytes.Load(),

@@ -165,7 +165,8 @@ func TestWaitReturnsProvidedRatio(t *testing.T) {
 }
 
 // TestApproxWithoutBodyIsSkipped: a task selected for approximation without
-// an approximate body must be skipped without running anything.
+// an approximate body must be skipped without running anything, and the
+// skip is the model's task dropping — counted dropped, never approximate.
 func TestApproxWithoutBodyIsSkipped(t *testing.T) {
 	rt := newRT(t, Config{Policy: PolicyGTBMaxBuffer})
 	defer rt.Close()
@@ -177,8 +178,132 @@ func TestApproxWithoutBodyIsSkipped(t *testing.T) {
 		t.Error("task without approx body ran accurately despite ratio 0")
 	}
 	st := rt.Stats()
-	if st.Approximate != 1 {
-		t.Errorf("expected 1 approximate-counted task, got %+v", st)
+	if st.Dropped != 1 || st.Approximate != 0 {
+		t.Errorf("skipped task must count as dropped: got %+v", st)
+	}
+}
+
+// TestSkippedTaskCostsZeroJoules is the regression test for the energy
+// accounting of body-less approximate decisions: no code runs, so nothing
+// may be charged to the modeled energy account — whatever approximate cost
+// the task declared. With declared costs the report is exact, so the busy
+// account must show only the accurate task's cost.
+func TestSkippedTaskCostsZeroJoules(t *testing.T) {
+	rt := newRT(t, Config{Policy: PolicyGTBMaxBuffer})
+	grp := rt.Group("skip", 0.0)
+	// One unconditionally accurate task (cost 100) and three skipped ones
+	// that declare a non-zero approximate cost but carry no body.
+	rt.Submit(func() {}, WithLabel(grp), WithSignificance(1.0), WithCost(100, 40))
+	for i := 0; i < 3; i++ {
+		rt.Submit(func() {}, WithLabel(grp), WithSignificance(0.5), WithCost(100, 40))
+	}
+	rt.Wait(grp)
+	if err := rt.Close(); err != nil {
+		t.Fatal(err)
+	}
+	rep := rt.Energy()
+	if want := time.Duration(100); rep.Busy != want {
+		t.Errorf("modeled busy = %v, want %v: skipped tasks were charged for work that never ran", rep.Busy, want)
+	}
+	st := rt.Stats()
+	if st.Accurate != 1 || st.Dropped != 3 || st.Approximate != 0 {
+		t.Errorf("accounting %d/%d/%d (acc/approx/drop), want 1/0/3",
+			st.Accurate, st.Approximate, st.Dropped)
+	}
+}
+
+// TestSubmitOnClosedRuntimeReleasesTask: Submit draws its *Task from the
+// pool before the closed check panics; the failed call must hand the task
+// back instead of leaking it.
+func TestSubmitOnClosedRuntimeReleasesTask(t *testing.T) {
+	rt := newRT(t, Config{Policy: PolicyAccurate})
+	if err := rt.Close(); err != nil {
+		t.Fatal(err)
+	}
+	const attempts = 4
+	for i := 0; i < attempts; i++ {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("Submit on closed runtime did not panic")
+				}
+			}()
+			rt.Submit(func() {})
+		}()
+	}
+	// Every released task went back through pools.release; at least one
+	// must be visible to a same-goroutine Get (the pool was empty before).
+	found := 0
+	for i := 0; i < attempts; i++ {
+		if v := rt.pools.single.Get(); v != nil {
+			found++
+		}
+	}
+	if found == 0 {
+		t.Errorf("no released task found in the pool after %d panicking Submits", attempts)
+	}
+}
+
+// TestSubmitBatchNilBodyValidatedUpfront: a nil Fn anywhere in the batch
+// must panic before any task of the batch is dispatched or any slab drawn.
+func TestSubmitBatchNilBodyValidatedUpfront(t *testing.T) {
+	rt := newRT(t, Config{Policy: PolicyAccurate})
+	defer rt.Close()
+	g := rt.Group("batch", 1.0)
+	ran := false
+	specs := make([]TaskSpec, 80)
+	for i := range specs {
+		specs[i] = TaskSpec{Fn: func() { ran = true }}
+	}
+	specs[77].Fn = nil // in the second slab chunk
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("SubmitBatch with nil body did not panic")
+			}
+		}()
+		rt.SubmitBatch(g, specs)
+	}()
+	rt.Wait(g)
+	if ran {
+		t.Error("tasks of a rejected batch were dispatched")
+	}
+	if st := rt.Stats(); st.Submitted != 0 {
+		t.Errorf("rejected batch counted %d submitted tasks", st.Submitted)
+	}
+}
+
+// TestGroupStatsCounterWidth pins the counter snapshots to 64 bits: the
+// assignments below stop compiling if a field is narrowed back to int, and
+// the runtime check exercises values past 2^32 as a long-running 32-bit
+// serving process would reach them.
+func TestGroupStatsCounterWidth(t *testing.T) {
+	var gs GroupStats
+	var st Stats
+	var _ int64 = gs.Submitted
+	var _ int64 = gs.Accurate
+	var _ int64 = gs.Approximate
+	var _ int64 = gs.Dropped
+	var _ int64 = st.Submitted
+	var _ int64 = st.Accurate
+	var _ int64 = st.Approximate
+	var _ int64 = st.Dropped
+
+	rt := newRT(t, Config{Policy: PolicyAccurate})
+	defer rt.Close()
+	g := rt.Group("wide", 1.0)
+	const big = int64(5) << 32
+	g.submitted.Store(big + 3)
+	g.accurate.Store(big)
+	g.approximate.Store(2)
+	g.dropped.Store(1)
+	snap := rt.Stats()
+	got := snap.Groups[0]
+	if got.Submitted != big+3 || got.Accurate != big || got.Approximate != 2 || got.Dropped != 1 {
+		t.Errorf("Stats truncated 64-bit counters: %+v", got)
+	}
+	if snap.Submitted != big+3 || snap.Accurate != big {
+		t.Errorf("runtime-wide totals truncated: %+v", snap)
 	}
 }
 

@@ -1,23 +1,27 @@
 package sig
 
 // Stats is a snapshot of task accounting across all groups of a runtime.
+// The counters are int64 — like the atomics backing them — so long-running
+// serving workloads cannot overflow them on 32-bit platforms.
 type Stats struct {
-	Submitted   int
-	Accurate    int
-	Approximate int
-	Dropped     int
+	Submitted   int64
+	Accurate    int64
+	Approximate int64
+	Dropped     int64
 	Groups      []GroupStats
 }
 
 // GroupStats is the per-group accounting snapshot.
 type GroupStats struct {
 	Name      string
-	Submitted int
+	Submitted int64
 	// Accurate, Approximate and Dropped count decided-and-completed
-	// tasks; Dropped counts tasks skipped without running any body.
-	Accurate    int
-	Approximate int
-	Dropped     int
+	// tasks; Dropped counts tasks skipped without running any body —
+	// both policy drops and approximate decisions on tasks that carry
+	// no approximate body (the model's task-dropping degradation).
+	Accurate    int64
+	Approximate int64
+	Dropped     int64
 	// RequestedRatio is the group's target accurate fraction;
 	// ProvidedRatio is the fraction actually delivered.
 	RequestedRatio float64

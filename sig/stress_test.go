@@ -142,7 +142,7 @@ func TestStressConcurrentSubmitWaitStats(t *testing.T) {
 			rt.Wait(g)
 
 			st := rt.Stats()
-			want := producers * perProducer
+			want := int64(producers * perProducer)
 			if st.Submitted != want {
 				t.Errorf("submitted %d, want %d", st.Submitted, want)
 			}
@@ -175,7 +175,7 @@ func TestStressConcurrentSubmitWaitStats(t *testing.T) {
 // decisions as scalar submission for the deterministic policies.
 func TestSubmitBatchMatchesSubmit(t *testing.T) {
 	const n = 450
-	runCounts := func(batch bool, kind PolicyKind) (int, int, int) {
+	runCounts := func(batch bool, kind PolicyKind) (int64, int64, int64) {
 		rt, err := New(Config{Workers: 1, Policy: kind})
 		if err != nil {
 			t.Fatal(err)
