@@ -1,9 +1,11 @@
 GO ?= go
 
-.PHONY: test vet race bench fuzz fuzz-serve bench-adapt serve-study
+.PHONY: test vet race bench fuzz fuzz-serve fuzz-shard bench-adapt serve-study bench-shard
 
+# -shuffle=on randomizes test order within each package so order-dependent
+# tests cannot hide behind file order; CI runs the same way.
 test:
-	$(GO) build ./... && $(GO) test ./...
+	$(GO) build ./... && $(GO) test -shuffle=on ./...
 
 # Static analysis: go vet always; staticcheck when installed (CI installs a
 # pinned version — see .github/workflows/ci.yml).
@@ -13,7 +15,7 @@ vet:
 	else echo "staticcheck not installed; skipping (go install honnef.co/go/tools/cmd/staticcheck@2024.1.1)"; fi
 
 race:
-	$(GO) test -race ./...
+	$(GO) test -race -shuffle=on ./...
 
 bench:
 	$(GO) test ./sig -run xxx -bench . -benchtime 1s
@@ -27,6 +29,11 @@ fuzz:
 fuzz-serve:
 	$(GO) test ./sig/serve -run '^$$' -fuzz FuzzServeAdmission -fuzztime 20s -fuzzminimizetime 1x
 
+# `fuzz-shard` drives the cross-shard routing invariants (conservation,
+# specials, merged ratio floor) under adversarial placement/drain streams.
+fuzz-shard:
+	$(GO) test ./sig/shard -run '^$$' -fuzz FuzzShardRouting -fuzztime 20s -fuzzminimizetime 1x
+
 # Run the adaptive-controller study and append its convergence numbers to
 # BENCH_sig.json under the "adaptive" key.
 bench-adapt:
@@ -36,3 +43,9 @@ bench-adapt:
 # BENCH_sig.json under the "serve" key.
 serve-study:
 	$(GO) run ./cmd/sigbench serve -scale 0.1 -backend all -append-bench BENCH_sig.json
+
+# Run the multi-runtime sharding study (burst submit throughput at 1/2/4/8
+# shards, energy additivity, placement sweep) and append its summary to
+# BENCH_sig.json under the "shard" key.
+bench-shard:
+	$(GO) run ./cmd/sigbench shard -reps 3 -append-bench BENCH_sig.json

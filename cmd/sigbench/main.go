@@ -12,7 +12,8 @@
 //	sigbench table2 [-scale 0.25] [-workers 16]
 //	sigbench ablate [-scale 0.25] [-workers 16]
 //	sigbench adaptive [-scale 0.25] [-setpoint 16] [-waves 24] [-append-bench BENCH_sig.json]
-//	sigbench serve  [-scale 0.25] [-workers 16] [-backend sobel|kmeans|all] [-append-bench BENCH_sig.json]
+//	sigbench serve  [-scale 0.25] [-workers 16] [-backend sobel|kmeans|all] [-shards 4] [-append-bench BENCH_sig.json]
+//	sigbench shard  [-reps 3] [-append-bench BENCH_sig.json]
 //	sigbench all    [-scale 0.25] [-workers 16]
 //
 // Scale 1.0 reproduces evaluation-size problems; smaller scales shrink the
@@ -45,11 +46,25 @@ func main() {
 
 		setpoint = fs.Float64("setpoint", 0, "adaptive: PSNR setpoint in dB (0 = default 16)")
 		waves    = fs.Int("waves", 0, "adaptive: sobel stream length in waves (0 = default 24)")
-		appendTo = fs.String("append-bench", "", "adaptive/serve: merge summary numbers into this BENCH json file")
+		appendTo = fs.String("append-bench", "", "adaptive/serve/shard: merge summary numbers into this BENCH json file")
 		backend  = fs.String("backend", "sobel", "serve: request backend (sobel, kmeans or all)")
+		shards   = fs.Int("shards", 0, "serve: run the sharded fleet scenario with this many runtime shards")
 	)
 	if err := fs.Parse(os.Args[2:]); err != nil {
 		os.Exit(2)
+	}
+	// The shared -reps flag defaults to 1 (the fig2/fig4 averaging
+	// convention); the shard study's own default is 3 best-of reps, so it
+	// only honors the flag when the user actually set it.
+	repsSet := false
+	fs.Visit(func(f *flag.Flag) {
+		if f.Name == "reps" {
+			repsSet = true
+		}
+	})
+	shardReps := 0
+	if repsSet {
+		shardReps = *reps
 	}
 	opt := harness.Options{Scale: *scale, Workers: *workers, Repetitions: *reps}
 	if *benches != "" {
@@ -74,7 +89,9 @@ func main() {
 	case "adaptive":
 		err = runAdaptive(*scale, *workers, *setpoint, *waves, *appendTo)
 	case "serve":
-		err = runServe(*scale, *workers, *backend, *appendTo)
+		err = runServe(*scale, *workers, *shards, *backend, *appendTo)
+	case "shard":
+		err = runShard(shardReps, *appendTo)
 	case "all":
 		harness.Table1(os.Stdout)
 		fmt.Println()
@@ -103,7 +120,11 @@ func main() {
 			break
 		}
 		fmt.Println()
-		err = runServe(*scale, *workers, "all", "")
+		if err = runServe(*scale, *workers, 0, "all", ""); err != nil {
+			break
+		}
+		fmt.Println()
+		err = runShard(shardReps, "")
 	default:
 		usage()
 		os.Exit(2)
@@ -115,7 +136,7 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: sigbench {table1|fig1|fig2|fig3|fig4|table2|ablate|adaptive|serve|all} [flags]")
+	fmt.Fprintln(os.Stderr, "usage: sigbench {table1|fig1|fig2|fig3|fig4|table2|ablate|adaptive|serve|shard|all} [flags]")
 	fmt.Fprintln(os.Stderr, "run 'sigbench <cmd> -h' for per-command flags")
 }
 
@@ -232,8 +253,9 @@ func appendBench(path string, res harness.AdaptiveResult) error {
 
 // runServe executes the serving overload study on the selected backends,
 // prints it, and (when appendTo names a BENCH json file) merges the
-// summary under the "serve" key.
-func runServe(scale float64, workers int, backend, appendTo string) error {
+// summary under the "serve" key. With shards ≥ 2 the study runs over the
+// sharded fleet and its numbers land under "<backend>@<N>shards".
+func runServe(scale float64, workers, shards int, backend, appendTo string) error {
 	names := []string{backend}
 	if backend == "all" {
 		names = []string{"sobel", "kmeans"}
@@ -245,12 +267,17 @@ func runServe(scale float64, workers int, backend, appendTo string) error {
 		if i > 0 {
 			fmt.Println()
 		}
-		res, err := harness.ServeStudy(harness.ServeConfig{Scale: scale, Workers: workers, Backend: name})
+		res, err := harness.ServeStudy(harness.ServeConfig{Scale: scale, Workers: workers, Shards: shards, Backend: name})
 		if err != nil {
 			return err
 		}
 		harness.PrintServeStudy(os.Stdout, res)
-		entry[name] = map[string]any{
+		key := name
+		if shards >= 2 {
+			key = fmt.Sprintf("%s@%dshards", name, shards)
+		}
+		entry[key] = map[string]any{
+			"shards":                   res.Shards,
 			"base_per_wave":            res.BasePerWave,
 			"overload":                 res.Overload,
 			"pre_step_ratio":           res.PreStepRatio,
@@ -271,6 +298,34 @@ func runServe(scale float64, workers int, backend, appendTo string) error {
 		return nil
 	}
 	return mergeBenchKey(appendTo, "serve", entry)
+}
+
+// runShard executes the multi-runtime sharding study, prints it, and (when
+// appendTo names a BENCH json file) merges the summary under the "shard"
+// key — the home of the headline burst-ingest speedup number.
+func runShard(reps int, appendTo string) error {
+	res, err := harness.ShardStudy(harness.ShardStudyConfig{Reps: reps})
+	if err != nil {
+		return err
+	}
+	harness.PrintShardStudy(os.Stdout, res)
+	if appendTo == "" {
+		return nil
+	}
+	tput := map[string]any{}
+	for _, row := range res.Rows {
+		tput[fmt.Sprintf("%d", row.Shards)] = row.IngestTput
+	}
+	return mergeBenchKey(appendTo, "shard", map[string]any{
+		"subject":              "sig/shard burst submit throughput and energy additivity (harness.ShardStudy)",
+		"burst_tasks":          res.Burst,
+		"workers_per_shard":    res.WorkersPerShard,
+		"queue_capacity":       res.QueueCapacity,
+		"submit_tput_per_s":    tput,
+		"speedup_4_shards":     res.Speedup,
+		"joules_bit_identical": res.JoulesAdditive,
+		"golden_joules":        res.GoldenJoules,
+	})
 }
 
 func runAblations(opt harness.Options) error {

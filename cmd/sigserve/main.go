@@ -7,8 +7,13 @@
 // Usage:
 //
 //	sigserve [-addr :8080] [-backend sobel|kmeans] [-scale 0.25]
-//	         [-workers 0] [-period 5ms] [-queue 4096] [-minratio 0]
-//	         [-target-load 1.0]
+//	         [-workers 0] [-shards 1] [-period 5ms] [-queue 4096]
+//	         [-minratio 0] [-target-load 1.0]
+//
+// With -shards N (N ≥ 2) the server runs over a shard.Router fleet of N
+// runtime shards (-workers is then the per-shard pool) and the admission
+// controller is hierarchical: global load cap over merged waves, per-shard
+// ratio trim underneath.
 //
 // Endpoints:
 //
@@ -57,7 +62,8 @@ func main() {
 		addr       = flag.String("addr", ":8080", "listen address")
 		backendSel = flag.String("backend", "sobel", "request backend: sobel or kmeans")
 		scale      = flag.Float64("scale", 0.25, "backend problem scale in (0,1]")
-		workers    = flag.Int("workers", 0, "worker goroutines (0 = GOMAXPROCS)")
+		workers    = flag.Int("workers", 0, "worker goroutines (0 = GOMAXPROCS); per shard with -shards")
+		shards     = flag.Int("shards", 0, "runtime shards behind the router (0/1 = single runtime)")
 		period     = flag.Duration("period", serve.DefaultWavePeriod, "wave period")
 		queue      = flag.Int("queue", serve.DefaultQueueLimit, "admission queue limit")
 		minRatio   = flag.Float64("minratio", 0, "quality contract: lowest accuracy ratio")
@@ -72,6 +78,7 @@ func main() {
 	}
 	srv, err := serve.New(serve.Config{
 		Workers:    *workers,
+		Shards:     *shards,
 		QueueLimit: *queue,
 		WavePeriod: *period,
 		MinRatio:   *minRatio,
@@ -125,6 +132,7 @@ func main() {
 		tot := srv.Totals()
 		writeJSON(w, map[string]any{
 			"backend":   backend.Name,
+			"shards":    max(*shards, 1),
 			"ratio":     srv.Ratio(),
 			"depth":     srv.Depth(),
 			"waves":     tot.Waves,
@@ -150,8 +158,8 @@ func main() {
 		defer cancel()
 		_ = httpSrv.Shutdown(shutCtx)
 	}()
-	log.Printf("sigserve: %s backend on %s (period %v, queue %d, minratio %.2f)",
-		backend.Name, *addr, *period, *queue, *minRatio)
+	log.Printf("sigserve: %s backend on %s (%d shard(s), period %v, queue %d, minratio %.2f)",
+		backend.Name, *addr, max(*shards, 1), *period, *queue, *minRatio)
 	if err := httpSrv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
 		fmt.Fprintln(os.Stderr, "sigserve:", err)
 		os.Exit(1)

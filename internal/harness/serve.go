@@ -108,8 +108,13 @@ func ServeBackendByName(name string, scale float64) (*ServeBackend, error) {
 type ServeConfig struct {
 	// Scale in (0,1] sizes the backend's per-request work.
 	Scale float64
-	// Workers for the serving runtime (0 = GOMAXPROCS).
+	// Workers for the serving runtime (0 = GOMAXPROCS); per shard when
+	// Shards ≥ 2.
 	Workers int
+	// Shards ≥ 2 runs the server over a shard.Router fleet: the sharded
+	// overload scenario, with the hierarchical admission controller
+	// (global TargetLoad over merged waves, per-shard trim below).
+	Shards int
 	// Backend is "sobel" (default) or "kmeans".
 	Backend string
 	// Waves is the open-loop stream length (default 28); the overload
@@ -190,6 +195,7 @@ type ServeWaveRow struct {
 // ServeResult is the outcome of the serving study.
 type ServeResult struct {
 	Backend     string
+	Shards      int // 0/1 = single runtime; ≥ 2 = sharded fleet
 	BasePerWave int
 	Overload    float64
 	StepAt      int
@@ -227,6 +233,7 @@ type ServeResult struct {
 func newStudyServer(cfg ServeConfig, b *ServeBackend) (*serve.Server, error) {
 	return serve.New(serve.Config{
 		Workers:    cfg.Workers,
+		Shards:     cfg.Shards,
 		WaveBudget: float64(cfg.BasePerWave) * b.CostAccurate / serveUtilization,
 		QueueLimit: 64 * cfg.BasePerWave,
 	})
@@ -246,6 +253,7 @@ func ServeStudy(cfg ServeConfig) (ServeResult, error) {
 	}
 	res := ServeResult{
 		Backend:     backend.Name,
+		Shards:      cfg.Shards,
 		BasePerWave: cfg.BasePerWave,
 		Overload:    cfg.Overload,
 		StepAt:      cfg.StepAt,
@@ -389,8 +397,12 @@ func serveClosedLoop(cfg ServeConfig, backend *ServeBackend, res *ServeResult) e
 // the commanded ratio across the overload step, and the summary lines the
 // smoke test and BENCH json consume.
 func PrintServeStudy(w io.Writer, r ServeResult) {
-	fmt.Fprintf(w, "Serve study (%s backend): open-loop %.0fx overload step over waves [%d,%d)\n",
-		r.Backend, r.Overload, r.StepAt, r.StepEnd)
+	engine := ""
+	if r.Shards >= 2 {
+		engine = fmt.Sprintf(", %d shards", r.Shards)
+	}
+	fmt.Fprintf(w, "Serve study (%s backend%s): open-loop %.0fx overload step over waves [%d,%d)\n",
+		r.Backend, engine, r.Overload, r.StepAt, r.StepEnd)
 	fmt.Fprintf(w, "%-5s %7s %7s %6s %6s %6s %6s %6s %5s/%-5s/%-4s %10s\n",
 		"wave", "offered", "admit", "depth", "load", "req%", "prov%", "next%", "acc", "deg", "drop", "energy")
 	for _, row := range r.Rows {

@@ -189,13 +189,26 @@ func New(cfg Config) (*Controller, error) {
 	return &Controller{cfg: cfg}, nil
 }
 
-// ObserveWave implements sig.Observer: it regulates the configured group
-// and ignores every other. For TargetQuality and TargetEnergy, empty waves
-// (Close's final drain, foreign taskwaits) carry no information and leave
-// the controller untouched. For TargetLoad an empty wave IS informative —
-// zero demand — and is processed, so a load-shedding server recovers its
-// ratio while idle instead of freezing at the last overload's value.
-func (c *Controller) ObserveWave(g *sig.Group, ws sig.WaveStats) {
+// Target is the retunable surface the controller drives: a named group
+// whose accuracy ratio it owns. *sig.Group satisfies it, and so does a
+// sharded front end's merged group (sig/shard) — the control law does not
+// care how many runtimes sit behind the knob.
+type Target interface {
+	Name() string
+	SetRatio(float64)
+}
+
+// ObserveWave implements sig.Observer; it forwards to Observe. Sharded
+// routers, whose merged groups are not *sig.Group, call Observe directly.
+func (c *Controller) ObserveWave(g *sig.Group, ws sig.WaveStats) { c.Observe(g, ws) }
+
+// Observe regulates the configured group and ignores every other. For
+// TargetQuality and TargetEnergy, empty waves (Close's final drain, foreign
+// taskwaits) carry no information and leave the controller untouched. For
+// TargetLoad an empty wave IS informative — zero demand — and is processed,
+// so a load-shedding server recovers its ratio while idle instead of
+// freezing at the last overload's value.
+func (c *Controller) Observe(g Target, ws sig.WaveStats) {
 	if g.Name() != c.cfg.Group {
 		return
 	}

@@ -300,3 +300,56 @@ func TestControllerHotPathAllocs(t *testing.T) {
 		t.Errorf("%.2f allocs per submitted task with a controller attached, want 0", avg)
 	}
 }
+
+// TestTargetLoadZeroCostWaves pins the load objective's zero-demand edges,
+// previously untested: waves whose tasks all declare zero cost (measure 0,
+// no usable secant slope) and fully empty waves (which TargetLoad must
+// process — zero demand is information) both walk a shed ratio back up to
+// Max without a NaN or an out-of-bounds command ever reaching the group.
+func TestTargetLoadZeroCostWaves(t *testing.T) {
+	ctl, err := adapt.New(adapt.Config{
+		Group:     "zero",
+		Objective: adapt.TargetLoad,
+		Budget:    1.0,
+		Measure:   func(ws sig.WaveStats) float64 { return ws.Joules }, // 0 for zero-cost work
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt, err := sig.New(sig.Config{Workers: 1, Policy: sig.PolicyGTBMaxBuffer, Observer: ctl})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rt.Close()
+	g := rt.Group("zero", 0.05) // start shed, as after an overload
+
+	for wave := 0; wave < 12; wave++ {
+		if wave%2 == 0 { // alternate zero-cost and fully empty waves
+			for i := 0; i < 16; i++ {
+				rt.Submit(func() {}, sig.WithLabel(g),
+					sig.WithSignificance(float64(i%9+1)/10),
+					sig.WithApprox(func() {}), sig.WithCost(0, 0))
+			}
+		}
+		rt.WaitPhase(g)
+		r := g.Ratio()
+		if math.IsNaN(r) || r < 0 || r > 1 {
+			t.Fatalf("wave %d: commanded ratio %v out of [0,1]", wave, r)
+		}
+	}
+	trace := ctl.Trace()
+	if len(trace) != 12 {
+		t.Fatalf("controller observed %d waves, want 12 (empty waves are informative for TargetLoad)", len(trace))
+	}
+	for i, s := range trace {
+		if math.IsNaN(s.Measure) || math.IsNaN(s.NextRatio) {
+			t.Fatalf("wave %d: NaN in the trace: %+v", i, s)
+		}
+		if s.Measure != 0 {
+			t.Errorf("wave %d: zero-cost wave measured %v", i, s.Measure)
+		}
+	}
+	if got := g.Ratio(); got != 1 {
+		t.Errorf("ratio %v after 12 zero-demand waves, want recovered to the Max of 1", got)
+	}
+}

@@ -126,3 +126,46 @@ func TestWaitEmptyGroupReturnsRequestedRatio(t *testing.T) {
 		rt.Close()
 	}
 }
+
+// TestWaitPhaseWithoutObserver pins the phased surface with no Observer
+// configured — the standalone-streaming usage, previously untested: the
+// nil-group (default) spelling, empty waves on a never-submitted group,
+// and the wave epoch all behave exactly as with an observer attached, and
+// nothing is delivered anywhere.
+func TestWaitPhaseWithoutObserver(t *testing.T) {
+	rt := newRT(t, Config{Policy: PolicyGTBMaxBuffer})
+	defer rt.Close()
+
+	// Empty wave on a never-submitted group: the requested ratio comes
+	// back as provided (no 0/0 artifact) and the epoch still advances.
+	g := rt.Group("quiet", 0.3)
+	ws := rt.WaitPhase(g)
+	if ws.Submitted != 0 || ws.Decided() != 0 {
+		t.Errorf("empty wave carries tasks: %+v", ws)
+	}
+	if ws.ProvidedRatio != 0.3 || ws.RequestedRatio != 0.3 {
+		t.Errorf("empty wave ratios req %.2f prov %.2f, want 0.30/0.30", ws.RequestedRatio, ws.ProvidedRatio)
+	}
+	if ws.Joules != 0 || ws.Busy != 0 {
+		t.Errorf("empty wave charged %v / %v", ws.Joules, ws.Busy)
+	}
+	if g.Phase() != 1 {
+		t.Errorf("empty wave did not advance the epoch: phase %d", g.Phase())
+	}
+
+	// The nil-group spelling drains the default group.
+	ran := 0
+	rt.Submit(func() { ran++ }, WithCost(50, 0))
+	ws = rt.WaitPhase(nil)
+	if ran != 1 || ws.Submitted != 1 || ws.Accurate != 1 {
+		t.Errorf("WaitPhase(nil) wave %+v after default-group submit (ran %d)", ws, ran)
+	}
+	if want := time.Duration(50); ws.Busy != want {
+		t.Errorf("WaitPhase(nil) busy %v, want %v", ws.Busy, want)
+	}
+	// Consecutive empty waves keep reporting the current request.
+	g.SetRatio(0.9)
+	if ws := rt.WaitPhase(g); ws.ProvidedRatio != 0.9 {
+		t.Errorf("retargeted empty wave provided %.2f, want 0.90", ws.ProvidedRatio)
+	}
+}

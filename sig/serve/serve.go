@@ -32,7 +32,51 @@ import (
 
 	"repro/sig"
 	"repro/sig/adapt"
+	"repro/sig/shard"
 )
+
+// engine is the execution backend behind the admission queue: one
+// sig.Runtime (the default), or a shard.Router fleet when Config.Shards
+// asks for one. Both present the same wave surface, so the serving layer —
+// and its admission controller — is indifferent to how many scheduler
+// domains execute the waves.
+type engine interface {
+	SubmitBatch(specs []sig.TaskSpec)
+	WaitPhase() sig.WaveStats
+	Ratio() float64
+	Close() error
+	Energy() sig.Report
+	Stats() sig.Stats
+}
+
+// soloEngine is one runtime; the admission controller attaches as its
+// runtime Observer.
+type soloEngine struct {
+	rt  *sig.Runtime
+	grp *sig.Group
+}
+
+func (e soloEngine) SubmitBatch(specs []sig.TaskSpec) { e.rt.SubmitBatch(e.grp, specs) }
+func (e soloEngine) WaitPhase() sig.WaveStats         { return e.rt.WaitPhase(e.grp) }
+func (e soloEngine) Ratio() float64                   { return e.grp.Ratio() }
+func (e soloEngine) Close() error                     { return e.rt.Close() }
+func (e soloEngine) Energy() sig.Report               { return e.rt.Energy() }
+func (e soloEngine) Stats() sig.Stats                 { return e.rt.Stats() }
+
+// shardEngine is a sharded fleet; the admission controller observes the
+// router's merged waves (the global layer of the hierarchical controller —
+// the router's per-shard trim controllers are the local layer).
+type shardEngine struct {
+	r   *shard.Router
+	grp *shard.Group
+}
+
+func (e shardEngine) SubmitBatch(specs []sig.TaskSpec) { e.r.SubmitBatch(e.grp, specs) }
+func (e shardEngine) WaitPhase() sig.WaveStats         { return e.r.WaitPhase(e.grp) }
+func (e shardEngine) Ratio() float64                   { return e.grp.Ratio() }
+func (e shardEngine) Close() error                     { return e.r.Close() }
+func (e shardEngine) Energy() sig.Report               { return e.r.Energy() }
+func (e shardEngine) Stats() sig.Stats                 { return e.r.Stats() }
 
 // Defaults for Config's zero fields.
 const (
@@ -152,6 +196,13 @@ type Config struct {
 	// MinRatio to 1 instead.
 	Workers int
 	Policy  sig.PolicyKind
+	// Shards, when ≥ 2, runs the server over a shard.Router fleet of that
+	// many sig.Runtime shards (round-robin placement) instead of a single
+	// runtime. Workers is then the per-shard pool and the admission
+	// controller becomes hierarchical: it commands the global ratio over
+	// the router's merged waves, while the router's per-shard trim
+	// controllers keep each shard tracking the command.
+	Shards int
 	// Group names the serving task group (default "serve").
 	Group string
 	// QueueLimit bounds the admission queue; Submit returns ErrQueueFull
@@ -269,11 +320,15 @@ type Totals struct {
 // deterministic study mode) or let Start pump them every WavePeriod; stop
 // with Close.
 type Server struct {
-	cfg   Config
-	rt    *sig.Runtime
-	grp   *sig.Group
-	ctl   *adapt.Controller
-	watts float64
+	cfg Config
+	eng engine
+	ctl *adapt.Controller
+
+	// waveMu serializes RunWave with itself and with Close's final drain,
+	// so shutdown can never tear the engine down under an in-flight wave
+	// (which would panic the wave's batch submit and strand its tickets).
+	waveMu  sync.Mutex
+	stopped bool // engine closed; RunWave becomes a no-op (guarded by waveMu)
 
 	mu       sync.Mutex
 	queue    []*pending
@@ -281,6 +336,12 @@ type Server struct {
 	arrCost  costSums // declared costs of arrivals since the last wave
 	closed   bool
 	lastLoad float64
+
+	// closeDone is closed (after closeErr is set) once the winning Close
+	// finished draining and retired the engine; losing concurrent Close
+	// calls block on it so a returned Close always means "shut down".
+	closeDone chan struct{}
+	closeErr  error
 
 	wave atomic.Int64
 	tot  struct {
@@ -299,6 +360,9 @@ func New(cfg Config) (*Server, error) {
 	if cfg.Workers < 0 {
 		return nil, fmt.Errorf("serve: negative worker count %d", cfg.Workers)
 	}
+	if cfg.Shards < 0 {
+		return nil, fmt.Errorf("serve: negative shard count %d", cfg.Shards)
+	}
 	if cfg.MinRatio < 0 || cfg.MinRatio > 1 {
 		return nil, fmt.Errorf("serve: MinRatio %v outside [0,1]", cfg.MinRatio)
 	}
@@ -306,12 +370,15 @@ func New(cfg Config) (*Server, error) {
 	if workers == 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
+	if cfg.Shards > 1 {
+		workers *= cfg.Shards // WaveBudget defaults scale with the fleet
+	}
 	cfg = cfg.withDefaults(workers)
 	if cfg.Policy == 0 {
 		cfg.Policy = sig.PolicyGTBMaxBuffer
 	}
 
-	s := &Server{cfg: cfg}
+	s := &Server{cfg: cfg, closeDone: make(chan struct{})}
 	var err error
 	s.ctl, err = adapt.New(adapt.Config{
 		Group:     cfg.Group,
@@ -324,21 +391,32 @@ func New(cfg Config) (*Server, error) {
 	if err != nil {
 		return nil, err
 	}
-	s.rt, err = sig.New(sig.Config{
-		Workers:  cfg.Workers,
-		Policy:   cfg.Policy,
-		Observer: s.ctl,
-	})
-	if err != nil {
-		return nil, err
+	if cfg.Shards > 1 {
+		r, err := shard.New(shard.Config{
+			Shards:  cfg.Shards,
+			Runtime: sig.Config{Workers: cfg.Workers, Policy: cfg.Policy},
+			OnWave:  func(g *shard.Group, ws sig.WaveStats) { s.ctl.Observe(g, ws) },
+		})
+		if err != nil {
+			return nil, err
+		}
+		s.eng = shardEngine{r: r, grp: r.Group(cfg.Group, 1.0)} // start at full quality
+	} else {
+		rt, err := sig.New(sig.Config{
+			Workers:  cfg.Workers,
+			Policy:   cfg.Policy,
+			Observer: s.ctl,
+		})
+		if err != nil {
+			return nil, err
+		}
+		s.eng = soloEngine{rt: rt, grp: rt.Group(cfg.Group, 1.0)}
 	}
-	s.watts = s.rt.Energy().ActiveWatts
-	s.grp = s.rt.Group(cfg.Group, 1.0) // start at full quality
 	return s, nil
 }
 
 // Ratio returns the admission controller's current accuracy ratio.
-func (s *Server) Ratio() float64 { return s.grp.Ratio() }
+func (s *Server) Ratio() float64 { return s.eng.Ratio() }
 
 // Depth returns the current admission-queue depth.
 func (s *Server) Depth() int {
@@ -446,7 +524,7 @@ func (s *Server) measure(ws sig.WaveStats) float64 {
 func (s *Server) admit() []*pending {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	ratio := s.grp.Ratio()
+	ratio := s.eng.Ratio()
 	var batch []*pending
 	var cost float64
 	for len(s.queue) > 0 {
@@ -470,12 +548,18 @@ func (s *Server) admit() []*pending {
 // RunWave executes one serving wave: admit a budget's worth of queued
 // requests, run them as one significance-annotated batch, taskwait, and
 // let the admission controller retune the ratio. It is safe to call
-// concurrently with Submit but not with itself; the Start pump serializes
-// its own calls. A wave with nothing to admit still advances the wave
-// epoch (tickets measure latency in waves).
+// concurrently with Submit, with itself, and with Close (concurrent waves
+// serialize; after Close's final drain it is a no-op returning an empty
+// report). A wave with nothing to admit still advances the wave epoch
+// (tickets measure latency in waves).
 func (s *Server) RunWave() WaveReport {
+	s.waveMu.Lock()
+	defer s.waveMu.Unlock()
+	if s.stopped {
+		return WaveReport{Wave: int(s.wave.Load()), Ratio: s.eng.Ratio(), NextRatio: s.eng.Ratio()}
+	}
 	batch := s.admit()
-	ratio := s.grp.Ratio()
+	ratio := s.eng.Ratio()
 
 	rep := WaveReport{Wave: int(s.wave.Load()), Admitted: len(batch), Ratio: ratio}
 	if len(batch) > 0 {
@@ -503,9 +587,9 @@ func (s *Server) RunWave() WaveReport {
 				}
 			}
 		}
-		s.rt.SubmitBatch(s.grp, specs)
+		s.eng.SubmitBatch(specs)
 	}
-	ws := s.rt.WaitPhase(s.grp) // admission controller observes here
+	ws := s.eng.WaitPhase() // admission controller observes here
 	wave := s.wave.Add(1) - 1
 	now := time.Now()
 	for _, p := range batch {
@@ -536,7 +620,7 @@ func (s *Server) RunWave() WaveReport {
 	rep.Depth = len(s.queue)
 	rep.Load = s.lastLoad
 	s.mu.Unlock()
-	rep.NextRatio = s.grp.Ratio()
+	rep.NextRatio = s.eng.Ratio()
 	rep.Provided = ws.ProvidedRatio
 	rep.Joules = ws.Joules
 	rep.Stats = ws
@@ -568,13 +652,20 @@ func (s *Server) Start() {
 }
 
 // Close stops admitting, drains the queue through final waves (every
-// accepted ticket completes), and shuts the runtime down. It is
-// idempotent; the runtime's energy report stays valid afterwards.
+// accepted ticket completes), and shuts the engine down. It is idempotent
+// and safe to call while an explicit RunWave is in flight: the in-flight
+// wave finishes first (its tickets resolve normally), the drain waves run
+// after it, and only then is the engine torn down — a RunWave arriving
+// later is a no-op. The engine's energy report stays valid afterwards.
 func (s *Server) Close() error {
 	s.mu.Lock()
 	if s.closed {
 		s.mu.Unlock()
-		return nil
+		// A concurrent Close already owns the shutdown: wait for it, so
+		// every returned Close means the same thing — tickets resolved,
+		// engine retired, energy frozen.
+		<-s.closeDone
+		return s.closeErr
 	}
 	s.closed = true
 	stop, done := s.pumpStop, s.pumpDone
@@ -583,14 +674,26 @@ func (s *Server) Close() error {
 		close(stop)
 		<-done
 	}
+	// Each RunWave below serializes behind any in-flight wave; once the
+	// queue is empty (no new Submit can refill it past the closed flag),
+	// the engine can be retired under the same lock, so no wave can ever
+	// find it half-closed.
 	for s.Depth() > 0 {
 		s.RunWave()
 	}
-	return s.rt.Close()
+	s.waveMu.Lock()
+	s.stopped = true
+	err := s.eng.Close()
+	s.waveMu.Unlock()
+	s.closeErr = err
+	close(s.closeDone)
+	return err
 }
 
-// Energy returns the underlying runtime's modeled energy report.
-func (s *Server) Energy() sig.Report { return s.rt.Energy() }
+// Energy returns the engine's modeled energy report (merged across shards
+// in sharded mode).
+func (s *Server) Energy() sig.Report { return s.eng.Energy() }
 
-// Stats returns the underlying runtime's task accounting.
-func (s *Server) Stats() sig.Stats { return s.rt.Stats() }
+// Stats returns the engine's task accounting (merged across shards in
+// sharded mode).
+func (s *Server) Stats() sig.Stats { return s.eng.Stats() }

@@ -395,9 +395,167 @@ func TestServeIdleWavesRecoverRatio(t *testing.T) {
 	}
 }
 
+// TestServeCloseRacingRunWave pins the shutdown contract: Close arriving
+// while an explicit RunWave is in flight must let that wave finish, drain
+// the rest of the queue, and resolve every accepted ticket exactly once —
+// a double resolution would panic the ticket's channel close, a leak would
+// leave a ticket unresolved, and a torn-down engine under the wave would
+// panic its batch submit. Before waves were serialized with shutdown,
+// Close could close the runtime between a wave's admit and its submit.
+func TestServeCloseRacingRunWave(t *testing.T) {
+	for round := 0; round < 8; round++ {
+		s := newTestServer(t, 8, nil)
+		var served [3]int
+		var tks []*Ticket
+		for i := 0; i < 64; i++ {
+			tk, err := s.Submit(request(i, &served))
+			if err != nil {
+				t.Fatal(err)
+			}
+			tks = append(tks, tk)
+		}
+		waves := make(chan struct{})
+		go func() {
+			defer close(waves)
+			// Hammer waves until shutdown turns them into no-ops.
+			for i := 0; i < 64; i++ {
+				s.RunWave()
+			}
+		}()
+		if err := s.Close(); err != nil {
+			t.Fatal(err)
+		}
+		<-waves
+		for i, tk := range tks {
+			select {
+			case <-tk.Done():
+			default:
+				t.Fatalf("round %d: ticket %d leaked through the Close/RunWave race", round, i)
+			}
+		}
+		tot := s.Totals()
+		if tot.Completed != 64 || tot.Accurate+tot.Degraded+tot.Dropped != tot.Completed {
+			t.Fatalf("round %d: outcome conservation broken across the race: %+v", round, tot)
+		}
+		// RunWave after shutdown stays a harmless no-op.
+		if rep := s.RunWave(); rep.Admitted != 0 {
+			t.Fatalf("round %d: post-Close wave admitted %d requests", round, rep.Admitted)
+		}
+	}
+}
+
+// TestServeConcurrentClose: a losing concurrent Close must block until the
+// winning Close finished draining — when any Close returns, every accepted
+// ticket is resolved and the energy report is frozen.
+func TestServeConcurrentClose(t *testing.T) {
+	s := newTestServer(t, 8, nil)
+	var served [3]int
+	var tks []*Ticket
+	for i := 0; i < 48; i++ {
+		tk, err := s.Submit(request(i, &served))
+		if err != nil {
+			t.Fatal(err)
+		}
+		tks = append(tks, tk)
+	}
+	errs := make(chan error, 3)
+	for c := 0; c < 3; c++ {
+		go func() {
+			err := s.Close()
+			// The moment any Close returns, the contract must hold.
+			for i, tk := range tks {
+				select {
+				case <-tk.Done():
+				default:
+					t.Errorf("ticket %d unresolved when a concurrent Close returned", i)
+				}
+			}
+			errs <- err
+		}()
+	}
+	for c := 0; c < 3; c++ {
+		if err := <-errs; err != nil {
+			t.Fatal(err)
+		}
+	}
+	if tot := s.Totals(); tot.Completed != 48 {
+		t.Errorf("completed %d of 48 across concurrent Closes", tot.Completed)
+	}
+}
+
+// TestServeShardedOverload runs the overload-step contract over a sharded
+// engine: with Config.Shards the admission controller is hierarchical —
+// global ratio over the router's merged waves, per-shard trim underneath —
+// and the behavior must match the single-runtime server: quality sheds
+// before requests, everything conserves, and the closed loop replays
+// bit-identically (declared costs, round-robin placement, merged joules
+// summed in the exact integer domain).
+func TestServeShardedOverload(t *testing.T) {
+	const base = 8
+	run := func() (ratios []float64, joules []uint64, rejected int64, tot Totals) {
+		// newTestServer's explicit WaveBudget (base accurate requests at
+		// 60% utilization) is the fleet's aggregate capacity: admission
+		// pacing is budget-driven, so it needs no per-shard scaling.
+		s := newTestServer(t, base, func(c *Config) {
+			c.Shards = 4
+			c.Workers = 1
+		})
+		var served [3]int
+		seq := 0
+		for w := 0; w < 20; w++ {
+			offered := base
+			if w >= 6 && w < 12 {
+				offered *= 4
+			}
+			for i := 0; i < offered; i++ {
+				s.Submit(request(seq, &served))
+				seq++
+			}
+			rep := s.RunWave()
+			ratios = append(ratios, rep.NextRatio)
+			joules = append(joules, math.Float64bits(rep.Joules))
+		}
+		if err := s.Close(); err != nil {
+			t.Fatal(err)
+		}
+		tot = s.Totals()
+		return ratios, joules, tot.Rejected, tot
+	}
+	ratios, joules, rejected, tot := run()
+	if rejected != 0 {
+		t.Errorf("%d requests rejected; the sharded fleet should shed quality first", rejected)
+	}
+	if tot.Completed != tot.Submitted {
+		t.Errorf("sharded totals leak requests: %+v", tot)
+	}
+	if tot.Accurate+tot.Degraded+tot.Dropped != tot.Completed {
+		t.Errorf("sharded outcome conservation broken: %+v", tot)
+	}
+	minRatio := 1.0
+	for _, r := range ratios[6:12] {
+		minRatio = math.Min(minRatio, r)
+	}
+	if minRatio > 0.7 {
+		t.Errorf("sharded ratio only fell to %.3f under a 4x step", minRatio)
+	}
+	if last := ratios[len(ratios)-1]; last < 0.95 {
+		t.Errorf("sharded ratio %.3f did not recover after the step", last)
+	}
+	ratios2, joules2, _, _ := run()
+	for w := range ratios {
+		if ratios[w] != ratios2[w] || joules[w] != joules2[w] {
+			t.Fatalf("sharded wave %d diverged across identical runs: ratio %v/%v joules %x/%x",
+				w, ratios[w], ratios2[w], joules[w], joules2[w])
+		}
+	}
+}
+
 func TestServeConfigValidation(t *testing.T) {
 	if _, err := New(Config{Workers: -1}); err == nil {
 		t.Error("negative workers accepted")
+	}
+	if _, err := New(Config{Shards: -1}); err == nil {
+		t.Error("negative shard count accepted")
 	}
 	if _, err := New(Config{MinRatio: 1.5}); err == nil {
 		t.Error("MinRatio > 1 accepted")

@@ -1,0 +1,740 @@
+// Package shard scales the significance-aware runtime past one scheduler
+// domain: a Router owns N independent sig.Runtime shards (one per NUMA-ish
+// resource slice) behind the familiar single-runtime surface — Submit /
+// SubmitBatch, named groups, Wait / WaitPhase, Stats / Energy, Close — and
+// places each task on a shard by a pluggable placement policy.
+//
+// A Group created on the Router is one *logical* group backed by one
+// physical sig.Group per shard. The ratio knob is hierarchical, as a global
+// admission controller wants it: SetRatio commands a single global ratio,
+// and the Router layers a small per-shard trim controller on top — a shard
+// whose provided ratio lagged the command in the last wave is boosted (never
+// shed below the command), so the merged provided ratio tracks the global
+// knob even when placement skews significance across shards. WaitPhase
+// drains every shard and returns one merged WaveStats; the modeled joules of
+// the merge are computed from the exact integer sum of the shards' busy
+// nanoseconds — not by adding per-shard float joules — so the merged energy
+// account is bit-identical to a single runtime executing the same bodies,
+// and replays are bit-identical at any shard count.
+//
+// Shards can leave the fleet at runtime: DrainShard marks a shard
+// unroutable, waits out in-flight submissions (the same striped-counter
+// discipline sig.Runtime.Close uses), closes its runtime — which drains its
+// queued tasks — and leaves its counters and frozen energy report inside
+// every merge. Nothing is lost or double-counted; the chaos suite
+// (chaos_test.go) holds the Router to that.
+package shard
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/sig"
+)
+
+// PlacementKind selects how the Router maps tasks onto shards.
+type PlacementKind int
+
+const (
+	// PlaceRoundRobin stripes tasks across live shards in submission
+	// order: the bin-packing-free baseline, perfectly balanced for
+	// homogeneous streams.
+	PlaceRoundRobin PlacementKind = iota
+	// PlaceLeastLoad places each task on the shard with the least
+	// outstanding modeled cost (declared costs, or Config.DefaultCost for
+	// undeclared tasks) — first-fit-decreasing-flavored balancing for
+	// heterogeneous costs.
+	PlaceLeastLoad
+	// PlaceCostAffinity places tasks of the same cost class (binary
+	// exponent of the declared accurate cost) on the same shard, so a
+	// backend's equal-sized requests keep hitting the same slab pools and
+	// policy windows.
+	PlaceCostAffinity
+)
+
+func (k PlacementKind) valid() bool {
+	return k >= PlaceRoundRobin && k <= PlaceCostAffinity
+}
+
+func (k PlacementKind) String() string {
+	switch k {
+	case PlaceRoundRobin:
+		return "round-robin"
+	case PlaceLeastLoad:
+		return "least-load"
+	case PlaceCostAffinity:
+		return "cost-affinity"
+	}
+	return fmt.Sprintf("PlacementKind(%d)", int(k))
+}
+
+// Defaults for Config's zero fields.
+const (
+	// DefaultTrimGain is the per-shard trim controller's integrator gain
+	// on last wave's provided-ratio lag.
+	DefaultTrimGain = 0.5
+	// DefaultTrimMax bounds the per-shard boost above the global ratio.
+	DefaultTrimMax = 0.2
+	// DefaultPlacementCost is the load estimate for tasks that declare no
+	// cost (same scale as serve.DefaultRequestCost: ~100µs nominal).
+	DefaultPlacementCost = 100_000
+)
+
+// Config parameterizes a Router.
+type Config struct {
+	// Shards is the number of sig.Runtime shards (0 means 1).
+	Shards int
+	// Placement selects the placement policy (default PlaceRoundRobin).
+	Placement PlacementKind
+	// Runtime configures every shard identically: Workers is the
+	// *per-shard* worker pool (0 = GOMAXPROCS per shard). Its Observer
+	// must be nil — per-wave observation belongs to the Router, which
+	// merges the shards' waves and delivers them through OnWave.
+	Runtime sig.Config
+	// OnWave, when non-nil, receives the merged WaveStats of every
+	// logical group at each Wait/WaitPhase boundary, after all shards
+	// drained — the seam a global admission controller (adapt.TargetLoad
+	// via Controller.Observe) attaches to. It runs on the waiter's
+	// goroutine and may retune the group via Group.SetRatio.
+	OnWave func(g *Group, ws sig.WaveStats)
+	// TrimGain and TrimMax tune the per-shard trim controllers; zero
+	// fields take DefaultTrimGain/DefaultTrimMax. A negative TrimGain
+	// disables trimming (every shard runs exactly the global ratio).
+	TrimGain float64
+	TrimMax  float64
+	// DefaultCost is the placement-load estimate for tasks without
+	// declared costs (default DefaultPlacementCost).
+	DefaultCost float64
+}
+
+// shardState is the Router's per-shard routing state, padded so the hot
+// submit path never false-shares between shards.
+type shardState struct {
+	// inflight counts router submissions that picked this shard and may
+	// not have reached its runtime yet; DrainShard flips down first and
+	// then waits for inflight to drain, mirroring sig.Runtime.Close.
+	inflight atomic.Int64
+	// down marks the shard unroutable (DrainShard).
+	down atomic.Bool
+	// load is the outstanding modeled cost routed to the shard and not
+	// yet retired by a wave boundary (least-load placement).
+	load atomic.Int64
+	_    [39]byte
+}
+
+// Router multiplexes the single-runtime surface over N shards. Create one
+// with New, create logical groups with Group, submit with Submit or
+// SubmitBatch, synchronize with Wait or WaitPhase, and release every shard
+// with Close.
+type Router struct {
+	cfg    Config
+	shards []*sig.Runtime
+	state  []shardState
+	watts  float64
+
+	mu     sync.Mutex // guards groups/order/closed; never on the submit path
+	groups map[string]*Group
+	order  []*Group
+	closed bool
+
+	def atomic.Pointer[Group] // cached default group, off r.mu on submit
+	rr  atomic.Uint64         // round-robin cursor
+}
+
+// New builds a Router and starts its shards.
+func New(cfg Config) (*Router, error) {
+	if cfg.Shards < 0 {
+		return nil, fmt.Errorf("shard: negative shard count %d", cfg.Shards)
+	}
+	if cfg.Shards == 0 {
+		cfg.Shards = 1
+	}
+	if !cfg.Placement.valid() {
+		return nil, fmt.Errorf("shard: unknown placement kind %d", cfg.Placement)
+	}
+	if cfg.Runtime.Observer != nil {
+		return nil, fmt.Errorf("shard: per-shard Observer must be nil; merged waves are delivered through Config.OnWave")
+	}
+	if cfg.TrimGain == 0 {
+		cfg.TrimGain = DefaultTrimGain
+	}
+	if cfg.TrimMax == 0 {
+		cfg.TrimMax = DefaultTrimMax
+	}
+	if cfg.DefaultCost <= 0 {
+		cfg.DefaultCost = DefaultPlacementCost
+	}
+	r := &Router{
+		cfg:    cfg,
+		shards: make([]*sig.Runtime, cfg.Shards),
+		state:  make([]shardState, cfg.Shards),
+		groups: make(map[string]*Group),
+	}
+	for i := range r.shards {
+		rt, err := sig.New(cfg.Runtime)
+		if err != nil {
+			for _, prev := range r.shards[:i] {
+				prev.Close()
+			}
+			return nil, err
+		}
+		r.shards[i] = rt
+	}
+	r.watts = r.shards[0].Energy().ActiveWatts
+	return r, nil
+}
+
+// Shards returns the shard count.
+func (r *Router) Shards() int { return len(r.shards) }
+
+// Workers returns the total worker count across shards.
+func (r *Router) Workers() int {
+	n := 0
+	for _, rt := range r.shards {
+		n += rt.Workers()
+	}
+	return n
+}
+
+// Runtime returns shard i's runtime, for tests and per-shard introspection.
+func (r *Router) Runtime(i int) *sig.Runtime { return r.shards[i] }
+
+// Group is one logical task group spanning every shard. It satisfies
+// adapt.Target, so a single controller can own the merged ratio.
+type Group struct {
+	r     *Router
+	name  string
+	ratio atomic.Uint64 // math.Float64bits of the global commanded ratio
+	parts []*sig.Group  // one physical group per shard
+	// trim is each shard's boost above the global ratio (float bits),
+	// updated by the trim controllers at wave boundaries and read by
+	// applyRatio — atomics so SetRatio (from an OnWave observer) never
+	// races the boundary update.
+	trim []atomic.Uint64
+	// added tracks the modeled cost this group routed to each shard since
+	// its last wave boundary, so the boundary can retire it from the
+	// shard's placement load.
+	added []atomic.Int64
+
+	// waveMu serializes Wait/WaitPhase merging on this group, like the
+	// per-group phase lock of a single runtime.
+	waveMu sync.Mutex
+	wave   int
+}
+
+// Name returns the group's label.
+func (g *Group) Name() string { return g.name }
+
+// Ratio returns the global commanded accurate ratio.
+func (g *Group) Ratio() float64 { return math.Float64frombits(g.ratio.Load()) }
+
+// SetRatio retargets the global ratio and fans it out to every shard,
+// boosted by the shard's current trim. It is the knob a global admission
+// controller drives (adapt.Target).
+func (g *Group) SetRatio(ratio float64) {
+	g.ratio.Store(math.Float64bits(clamp01(ratio)))
+	g.applyRatio()
+}
+
+// applyRatio pushes ratio+trim to every physical group.
+func (g *Group) applyRatio() {
+	ratio := g.Ratio()
+	for i, p := range g.parts {
+		p.SetRatio(math.Min(1, ratio+math.Float64frombits(g.trim[i].Load())))
+	}
+}
+
+// Trim returns shard i's current boost above the global ratio.
+func (g *Group) Trim(i int) float64 { return math.Float64frombits(g.trim[i].Load()) }
+
+// Part returns the physical group on shard i, for tests and per-shard
+// introspection.
+func (g *Group) Part(i int) *sig.Group { return g.parts[i] }
+
+// Group returns the logical group with the given name, creating it (on
+// every shard) on first use, and sets its global ratio. Like
+// sig.Runtime.Group it is an idempotent get-or-create.
+func (r *Router) Group(name string, ratio float64) *Group {
+	g, existed := r.getOrCreateGroup(name, ratio)
+	if existed {
+		g.SetRatio(ratio)
+	}
+	return g
+}
+
+func (r *Router) getOrCreateGroup(name string, ratio float64) (*Group, bool) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if g, ok := r.groups[name]; ok {
+		return g, true
+	}
+	g := &Group{
+		r:     r,
+		name:  name,
+		parts: make([]*sig.Group, len(r.shards)),
+		trim:  make([]atomic.Uint64, len(r.shards)),
+		added: make([]atomic.Int64, len(r.shards)),
+	}
+	g.ratio.Store(math.Float64bits(clamp01(ratio)))
+	for i, rt := range r.shards {
+		g.parts[i] = rt.Group(name, ratio)
+	}
+	r.groups[name] = g
+	r.order = append(r.order, g)
+	if name == "" {
+		r.def.Store(g)
+	}
+	return g, false
+}
+
+// defaultGroup resolves nil-group submissions and taskwaits. Like
+// sig.Runtime's, it is created with ratio 1.0 on first use but never
+// overrides a ratio the caller set via r.Group("", r), and repeat lookups
+// stay off r.mu.
+func (r *Router) defaultGroup() *Group {
+	if g := r.def.Load(); g != nil {
+		return g
+	}
+	g, _ := r.getOrCreateGroup("", 1.0)
+	return g
+}
+
+func clamp01(x float64) float64 {
+	switch {
+	case x < 0 || math.IsNaN(x):
+		return 0
+	case x > 1:
+		return 1
+	}
+	return x
+}
+
+// placementCost is the modeled cost a spec contributes to placement load.
+func (r *Router) placementCost(spec *sig.TaskSpec) float64 {
+	if spec.HasCost && spec.CostAccurate > 0 {
+		return spec.CostAccurate
+	}
+	return r.cfg.DefaultCost
+}
+
+// account charges a placed spec's modeled cost to the shard's placement
+// load, and to the group's per-shard tally so the next wave boundary can
+// retire it. It runs at placement time — before the shard's sub-batch is
+// even formed — so least-load placement sees the load of earlier specs in
+// the same batch.
+func (r *Router) account(g *Group, i int, cost int64) {
+	r.state[i].load.Add(cost)
+	g.added[i].Add(cost)
+}
+
+// place picks a shard for one spec. It only *proposes*: route() re-checks
+// liveness under the in-flight counter.
+func (r *Router) place(spec *sig.TaskSpec) int {
+	n := len(r.shards)
+	if n == 1 {
+		return 0
+	}
+	switch r.cfg.Placement {
+	case PlaceLeastLoad:
+		best, bestLoad := -1, int64(math.MaxInt64)
+		for i := range r.state {
+			if r.state[i].down.Load() {
+				continue
+			}
+			if l := r.state[i].load.Load(); l < bestLoad {
+				best, bestLoad = i, l
+			}
+		}
+		if best >= 0 {
+			return best
+		}
+		return 0
+	case PlaceCostAffinity:
+		// The binary exponent buckets costs into classes: tasks within 2x
+		// of each other share a shard (and therefore its slab pools).
+		class := math.Ilogb(r.placementCost(spec))
+		if class < 0 {
+			class = 0
+		}
+		return r.liveFrom(class % n)
+	}
+	return r.liveFrom(int(r.rr.Add(1)-1) % n)
+}
+
+// liveFrom returns the first non-down shard at or after i (wrapping); i
+// itself when every shard is down (route will reject it).
+func (r *Router) liveFrom(i int) int {
+	n := len(r.shards)
+	for probe := 0; probe < n; probe++ {
+		j := (i + probe) % n
+		if !r.state[j].down.Load() {
+			return j
+		}
+	}
+	return i % n
+}
+
+// route acquires a submit slot on a live shard at or after the proposed
+// index: it publishes the in-flight count first and re-checks down, so a
+// concurrent DrainShard either sees the count and waits for the submission
+// to land, or already turned the shard away before it was picked.
+func (r *Router) route(i int) (int, bool) {
+	n := len(r.shards)
+	for probe := 0; probe < n; probe++ {
+		j := (i + probe) % n
+		s := &r.state[j]
+		s.inflight.Add(1)
+		if !s.down.Load() {
+			return j, true
+		}
+		s.inflight.Add(-1)
+	}
+	return 0, false
+}
+
+// Submit schedules one task on a shard picked by the placement policy.
+// Like sig.Runtime.Submit it panics on a nil body or a closed router.
+func (r *Router) Submit(g *Group, spec sig.TaskSpec) {
+	if spec.Fn == nil {
+		panic("sig: Submit with nil task body")
+	}
+	if g == nil {
+		g = r.defaultGroup()
+	}
+	i, ok := r.route(r.place(&spec))
+	if !ok {
+		panic("shard: Submit with every shard drained")
+	}
+	defer r.state[i].inflight.Add(-1)
+	r.account(g, i, int64(r.placementCost(&spec)))
+	one := [1]sig.TaskSpec{spec}
+	r.shards[i].SubmitBatch(g.parts[i], one[:])
+}
+
+// SubmitBatch scatters the batch across shards by the placement policy and
+// submits one sub-batch per shard, preserving relative order within each
+// shard. Semantically a loop of Submit calls.
+func (r *Router) SubmitBatch(g *Group, specs []sig.TaskSpec) {
+	if len(specs) == 0 {
+		return
+	}
+	if g == nil {
+		g = r.defaultGroup()
+	}
+	// Validate every body before routing anything, like the runtime's own
+	// SubmitBatch: a nil-body panic must not fire with an in-flight slot
+	// held or a partial batch dispatched.
+	for k := range specs {
+		if specs[k].Fn == nil {
+			panic("sig: SubmitBatch with nil task body")
+		}
+	}
+	n := len(r.shards)
+	if n == 1 {
+		i, ok := r.route(0)
+		if !ok {
+			panic("shard: Submit with every shard drained")
+		}
+		defer r.state[i].inflight.Add(-1)
+		for k := range specs {
+			r.account(g, i, int64(r.placementCost(&specs[k])))
+		}
+		r.shards[i].SubmitBatch(g.parts[i], specs)
+		return
+	}
+	buckets := make([][]sig.TaskSpec, n)
+	cost := make([]int64, n)
+	for k := range specs {
+		b := r.place(&specs[k])
+		// Charge placement load as each spec is placed, so least-load
+		// balancing works within one batch, not only across batches.
+		c := int64(r.placementCost(&specs[k]))
+		r.account(g, b, c)
+		cost[b] += c
+		buckets[b] = append(buckets[b], specs[k])
+	}
+	for b, sub := range buckets {
+		if len(sub) == 0 {
+			continue
+		}
+		r.submitBucket(g, b, sub, cost[b])
+	}
+}
+
+// submitBucket routes one placed sub-batch and submits it, releasing the
+// in-flight slot even if the shard's SubmitBatch panics (a leaked slot
+// would wedge a later DrainShard forever).
+func (r *Router) submitBucket(g *Group, b int, sub []sig.TaskSpec, cost int64) {
+	i, ok := r.route(b)
+	if !ok {
+		panic("shard: Submit with every shard drained")
+	}
+	defer r.state[i].inflight.Add(-1)
+	if i != b {
+		// The proposed shard was drained between placement and routing:
+		// move the sub-batch's load charge to the shard that actually
+		// runs it, so least-load keeps seeing the truth.
+		r.state[b].load.Add(-cost)
+		g.added[b].Add(-cost)
+		r.state[i].load.Add(cost)
+		g.added[i].Add(cost)
+	}
+	r.shards[i].SubmitBatch(g.parts[i], sub)
+}
+
+// WaitPhase drains the logical group on every shard (in shard order) and
+// returns the merged wave telemetry. Counts are summed; the merged busy
+// time is the exact integer sum of the shards' busy nanoseconds, and the
+// merged joules are computed from that sum in one multiplication — so the
+// energy account is bit-identical to a single runtime running the same
+// bodies, and additivity survives any shard count (invariant-tested).
+// After the merge the per-shard trim controllers absorb each shard's
+// provided-ratio lag, then the Router's OnWave observer (if any) sees the
+// merged wave and may retune the global ratio for the next one.
+func (r *Router) WaitPhase(g *Group) sig.WaveStats {
+	if g == nil {
+		g = r.defaultGroup()
+	}
+	g.waveMu.Lock()
+	merged := sig.WaveStats{Wave: g.wave}
+	var busy time.Duration
+	lags := make([]float64, len(g.parts))
+	for i, p := range g.parts {
+		want := p.Ratio() // ratio+trim this shard was asked for
+		ws := r.shards[i].WaitPhase(p)
+		merged.Submitted += ws.Submitted
+		merged.Accurate += ws.Accurate
+		merged.Approximate += ws.Approximate
+		merged.Dropped += ws.Dropped
+		busy += ws.Busy
+		if ws.Decided() > 0 {
+			lags[i] = want - ws.ProvidedRatio
+		}
+		r.state[i].load.Add(-g.added[i].Swap(0))
+	}
+	merged.Busy = busy
+	merged.Joules = r.watts * busy.Seconds()
+	merged.RequestedRatio = g.Ratio()
+	if d := merged.Decided(); d > 0 {
+		merged.ProvidedRatio = float64(merged.Accurate) / float64(d)
+	} else {
+		merged.ProvidedRatio = merged.RequestedRatio
+	}
+	g.wave++
+	// Per-shard trim update: integrate each shard's lag, clamped to
+	// [0, TrimMax] — a lagging shard is boosted above the global command,
+	// never shed below it, so the hierarchical knob cannot undercut the
+	// ratio floor the caller asked for. Pure arithmetic on wave telemetry:
+	// deterministic, replayable.
+	if r.cfg.TrimGain > 0 {
+		for i := range g.trim {
+			t := math.Float64frombits(g.trim[i].Load()) + r.cfg.TrimGain*lags[i]
+			t = math.Max(0, math.Min(r.cfg.TrimMax, t))
+			g.trim[i].Store(math.Float64bits(t))
+		}
+	}
+	g.applyRatio()
+	g.waveMu.Unlock()
+	if r.cfg.OnWave != nil {
+		r.cfg.OnWave(g, merged)
+	}
+	return merged
+}
+
+// Wait drains the logical group on every shard and returns the cumulative
+// provided ratio of the merge, like sig.Runtime.Wait.
+func (r *Router) Wait(g *Group) float64 {
+	if g == nil {
+		g = r.defaultGroup()
+	}
+	r.WaitPhase(g)
+	return g.providedRatio()
+}
+
+// providedRatio is the merged cumulative accurate fraction, from the
+// shards' counters alone — no decision-log copying on the wave path.
+func (g *Group) providedRatio() float64 {
+	var acc, decided int64
+	for _, p := range g.parts {
+		_, a, ap, d := p.Counts()
+		acc += a
+		decided += a + ap + d
+	}
+	if decided == 0 {
+		return g.Ratio()
+	}
+	return float64(acc) / float64(decided)
+}
+
+// WaitAll waits on every logical group ever created on the router.
+func (r *Router) WaitAll() {
+	r.mu.Lock()
+	groups := append([]*Group(nil), r.order...)
+	r.mu.Unlock()
+	for _, g := range groups {
+		r.WaitPhase(g)
+	}
+}
+
+// Stats returns the logical group's merged accounting: counters summed
+// across shards, the requested ratio being the global command.
+func (g *Group) Stats() sig.GroupStats {
+	merged := sig.GroupStats{Name: g.name, RequestedRatio: g.Ratio()}
+	for _, p := range g.parts {
+		gs := p.Stats()
+		merged.Submitted += gs.Submitted
+		merged.Accurate += gs.Accurate
+		merged.Approximate += gs.Approximate
+		merged.Dropped += gs.Dropped
+		merged.InBytes += gs.InBytes
+		merged.OutBytes += gs.OutBytes
+		merged.Decisions = append(merged.Decisions, gs.Decisions...)
+	}
+	if total := merged.Accurate + merged.Approximate + merged.Dropped; total > 0 {
+		merged.ProvidedRatio = float64(merged.Accurate) / float64(total)
+	} else {
+		merged.ProvidedRatio = merged.RequestedRatio
+	}
+	return merged
+}
+
+// Stats merges the per-shard accounting into one runtime-shaped snapshot:
+// one GroupStats per logical group, counters summed across shards.
+func (r *Router) Stats() sig.Stats {
+	r.mu.Lock()
+	groups := append([]*Group(nil), r.order...)
+	r.mu.Unlock()
+	st := sig.Stats{}
+	for _, g := range groups {
+		gs := g.Stats()
+		st.Groups = append(st.Groups, gs)
+		st.Submitted += gs.Submitted
+		st.Accurate += gs.Accurate
+		st.Approximate += gs.Approximate
+		st.Dropped += gs.Dropped
+	}
+	return st
+}
+
+// ShardStats returns each shard's own Stats snapshot, indexed by shard.
+func (r *Router) ShardStats() []sig.Stats {
+	out := make([]sig.Stats, len(r.shards))
+	for i, rt := range r.shards {
+		out[i] = rt.Stats()
+	}
+	return out
+}
+
+// Energy returns the merged modeled energy report: busy time is the exact
+// integer sum of the shards' busy nanoseconds and the joules are computed
+// from that sum — bit-identical to a single runtime that executed the same
+// bodies. Wall is the slowest shard's wall clock; Workers the fleet total.
+func (r *Router) Energy() sig.Report {
+	var busy time.Duration
+	var wall time.Duration
+	workers := 0
+	var model sig.Report
+	for i, rt := range r.shards {
+		rep := rt.Energy()
+		busy += rep.Busy
+		if rep.Wall > wall {
+			wall = rep.Wall
+		}
+		workers += rep.Workers
+		if i == 0 {
+			model = rep
+		}
+	}
+	return sig.Report{
+		Joules:      r.watts * busy.Seconds(),
+		Wall:        wall,
+		Busy:        busy,
+		Workers:     workers,
+		ActiveWatts: model.ActiveWatts,
+		IdleWatts:   model.IdleWatts,
+	}
+}
+
+// ShardEnergy returns each shard's own energy report, indexed by shard.
+func (r *Router) ShardEnergy() []sig.Report {
+	out := make([]sig.Report, len(r.shards))
+	for i, rt := range r.shards {
+		out[i] = rt.Energy()
+	}
+	return out
+}
+
+// DrainShard removes shard i from the fleet at runtime: it marks the shard
+// unroutable, waits out submissions that already picked it, then closes its
+// runtime — which drains every task the shard had queued or buffered.
+// Completed work stays in every merged Stats/Energy view (a closed
+// sig.Runtime's reports are frozen, not gone), so draining mid-wave loses
+// and double-counts nothing. Draining the last live shard is refused; a
+// drained shard cannot rejoin. Idempotent per shard.
+func (r *Router) DrainShard(i int) error {
+	if i < 0 || i >= len(r.shards) {
+		return fmt.Errorf("shard: DrainShard(%d) out of range [0,%d)", i, len(r.shards))
+	}
+	r.mu.Lock()
+	if r.state[i].down.Load() {
+		r.mu.Unlock()
+		return nil
+	}
+	live := 0
+	for j := range r.state {
+		if !r.state[j].down.Load() {
+			live++
+		}
+	}
+	if live <= 1 {
+		r.mu.Unlock()
+		return fmt.Errorf("shard: cannot drain shard %d: it is the last live shard", i)
+	}
+	r.state[i].down.Store(true)
+	r.mu.Unlock()
+	// Wait out router submissions that picked this shard before down
+	// flipped; afterwards nothing new can reach it. Same yield-then-sleep
+	// discipline as sig.Runtime.Close.
+	for spin := 0; r.state[i].inflight.Load() != 0; spin++ {
+		if spin < 64 {
+			runtime.Gosched()
+		} else {
+			time.Sleep(100 * time.Microsecond)
+		}
+	}
+	return r.shards[i].Close()
+}
+
+// Live returns the number of shards still accepting work.
+func (r *Router) Live() int {
+	live := 0
+	for i := range r.state {
+		if !r.state[i].down.Load() {
+			live++
+		}
+	}
+	return live
+}
+
+// Close drains every logical group and closes every shard (drained shards
+// are already closed; sig.Close is idempotent). Merged Energy and Stats
+// stay valid — and Energy stable — afterwards, like a single runtime's.
+func (r *Router) Close() error {
+	r.mu.Lock()
+	if r.closed {
+		r.mu.Unlock()
+		return nil
+	}
+	r.closed = true
+	r.mu.Unlock()
+	var errs []error
+	for _, rt := range r.shards {
+		errs = append(errs, rt.Close())
+	}
+	return errors.Join(errs...)
+}

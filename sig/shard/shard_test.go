@@ -1,0 +1,383 @@
+package shard
+
+import (
+	"math"
+	"strings"
+	"sync/atomic"
+	"testing"
+
+	"repro/sig"
+	"repro/sig/adapt"
+)
+
+// specStream builds n instrumented TaskSpecs with the given significance
+// generator and declared costs; ranAcc/ranApx record which body ran.
+func specStream(n int, sigOf func(i int) float64, ranAcc, ranApx []atomic.Bool) []sig.TaskSpec {
+	specs := make([]sig.TaskSpec, n)
+	for i := range specs {
+		i := i
+		s := sigOf(i)
+		if s == 0 {
+			s = -1 // batch spelling of the special 0.0
+		}
+		specs[i] = sig.TaskSpec{
+			Fn:           func() { ranAcc[i].Store(true) },
+			Approx:       func() { ranApx[i].Store(true) },
+			Significance: s,
+			HasCost:      true, CostAccurate: 10, CostApprox: 1,
+		}
+	}
+	return specs
+}
+
+func nineLevels(i int) float64 { return float64(i%9+1) / 10 }
+
+func TestRouterSurface(t *testing.T) {
+	r, err := New(Config{Shards: 4, Runtime: sig.Config{Workers: 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	if r.Shards() != 4 || r.Workers() != 4 || r.Live() != 4 {
+		t.Fatalf("fleet shape: %d shards, %d workers, %d live", r.Shards(), r.Workers(), r.Live())
+	}
+	g := r.Group("web", 0.5)
+	if g2 := r.Group("web", 0.8); g2 != g {
+		t.Error("Group is not idempotent")
+	}
+	if g.Ratio() != 0.8 {
+		t.Errorf("re-Group did not retarget the ratio: %v", g.Ratio())
+	}
+	g.SetRatio(0.5)
+
+	const n = 120
+	ranAcc := make([]atomic.Bool, n)
+	ranApx := make([]atomic.Bool, n)
+	for _, spec := range specStream(n, nineLevels, ranAcc, ranApx) {
+		r.Submit(g, spec)
+	}
+	if prov := r.Wait(g); math.IsNaN(prov) || prov < 0 || prov > 1 {
+		t.Errorf("merged provided ratio %v out of range", prov)
+	}
+
+	// Round-robin with a single submitter stripes exactly n/shards each.
+	for i := 0; i < 4; i++ {
+		if got := g.Part(i).Stats().Submitted; got != n/4 {
+			t.Errorf("shard %d got %d tasks, want %d (round-robin)", i, got, n/4)
+		}
+	}
+	gs := g.Stats()
+	if gs.Submitted != n {
+		t.Errorf("merged submitted %d, want %d", gs.Submitted, n)
+	}
+	if got := gs.Accurate + gs.Approximate + gs.Dropped; got != n {
+		t.Errorf("merged decided %d, want %d", got, n)
+	}
+	st := r.Stats()
+	if st.Submitted != n || len(st.Groups) != 1 {
+		t.Errorf("router Stats %+v", st)
+	}
+	// ShardStats sum to the merge.
+	var sum int64
+	for _, s := range r.ShardStats() {
+		sum += s.Submitted
+	}
+	if sum != n {
+		t.Errorf("shard stats sum %d, want %d", sum, n)
+	}
+}
+
+func TestRouterConfigValidation(t *testing.T) {
+	if _, err := New(Config{Shards: -1}); err == nil {
+		t.Error("negative shard count accepted")
+	}
+	if _, err := New(Config{Placement: PlacementKind(99)}); err == nil {
+		t.Error("unknown placement accepted")
+	}
+	type obs struct{ sig.Observer }
+	if _, err := New(Config{Runtime: sig.Config{Observer: obs{}}}); err == nil {
+		t.Error("per-shard Observer accepted; merged waves must flow through OnWave")
+	}
+	r, err := New(Config{}) // zero config = 1 shard, round-robin
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Shards() != 1 {
+		t.Errorf("zero Shards resolved to %d", r.Shards())
+	}
+	if err := r.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Close(); err != nil {
+		t.Errorf("second Close: %v", err)
+	}
+}
+
+// TestRouterDefaultGroup: the nil-group spelling mirrors the single
+// runtime — submits and taskwaits resolve to the default group, which is
+// created at ratio 1.0 on first use but never retargeted by a nil-group
+// submit (a caller's r.Group("", 0.3) command must survive).
+func TestRouterDefaultGroup(t *testing.T) {
+	r, err := New(Config{Shards: 2, Runtime: sig.Config{Workers: 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	g := r.Group("", 0.3)
+	var ran atomic.Int64
+	r.Submit(nil, sig.TaskSpec{Fn: func() { ran.Add(1) }, HasCost: true, CostAccurate: 10})
+	r.SubmitBatch(nil, []sig.TaskSpec{{Fn: func() { ran.Add(1) }, HasCost: true, CostAccurate: 10}})
+	if got := g.Ratio(); got != 0.3 {
+		t.Errorf("nil-group submit reset the default group's ratio to %v, want the commanded 0.3", got)
+	}
+	if ws := r.WaitPhase(nil); ws.Submitted != 2 {
+		t.Errorf("WaitPhase(nil) drained %d tasks, want 2", ws.Submitted)
+	}
+	if ran.Load() != 2 {
+		t.Errorf("%d bodies ran, want 2", ran.Load())
+	}
+	if prov := r.Wait(nil); math.IsNaN(prov) {
+		t.Error("Wait(nil) returned NaN")
+	}
+}
+
+// TestRouterNilBodyValidatedUpfront: a nil body must panic before anything
+// is routed — no partial batch, no load charged, and no in-flight slot
+// leaked (a leaked slot would wedge DrainShard forever).
+func TestRouterNilBodyValidatedUpfront(t *testing.T) {
+	r, err := New(Config{Shards: 2, Runtime: sig.Config{Workers: 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	g := r.Group("", 1.0)
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("SubmitBatch accepted a nil task body")
+			}
+		}()
+		r.SubmitBatch(g, []sig.TaskSpec{{Fn: func() {}}, {}})
+	}()
+	if got := g.Stats().Submitted; got != 0 {
+		t.Errorf("%d tasks of the invalid batch were dispatched", got)
+	}
+	// Both shards must still be drainable: the failed call held no slot.
+	if err := r.DrainShard(0); err != nil {
+		t.Errorf("DrainShard after the recovered panic: %v", err)
+	}
+}
+
+func TestPlacementLeastLoad(t *testing.T) {
+	r, err := New(Config{Shards: 2, Placement: PlaceLeastLoad, Runtime: sig.Config{Workers: 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	g := r.Group("", 1.0)
+	spec := func(cost float64) sig.TaskSpec {
+		return sig.TaskSpec{Fn: func() {}, HasCost: true, CostAccurate: cost, CostApprox: 0}
+	}
+	// One heavy task fills shard 0 (ties break to the lowest index); the
+	// following light tasks must all go to shard 1 until it catches up.
+	r.Submit(g, spec(1000))
+	for i := 0; i < 5; i++ {
+		r.Submit(g, spec(100))
+	}
+	if got := g.Part(1).Stats().Submitted; got != 5 {
+		t.Errorf("least-load sent %d of 5 light tasks to the empty shard", got)
+	}
+	r.Wait(g)
+	// The wave boundary retires placement load: the next task may land on
+	// shard 0 again (tie at zero load).
+	r.Submit(g, spec(10))
+	if got := g.Part(0).Stats().Submitted; got != 2 {
+		t.Errorf("wave boundary did not retire placement load: shard 0 has %d tasks, want 2", got)
+	}
+	r.Wait(g)
+}
+
+func TestPlacementCostAffinity(t *testing.T) {
+	r, err := New(Config{Shards: 2, Placement: PlaceCostAffinity, Runtime: sig.Config{Workers: 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	g := r.Group("", 1.0)
+	spec := func(cost float64) sig.TaskSpec {
+		return sig.TaskSpec{Fn: func() {}, HasCost: true, CostAccurate: cost, CostApprox: 0}
+	}
+	// Cost class = binary exponent: 100 and 110 share class 6; 200 is
+	// class 7. Same class must mean same shard, always.
+	for i := 0; i < 4; i++ {
+		r.Submit(g, spec(100))
+		r.Submit(g, spec(110))
+		r.Submit(g, spec(200))
+	}
+	r.Wait(g)
+	a := g.Part(0).Stats().Submitted
+	b := g.Part(1).Stats().Submitted
+	if a+b != 12 {
+		t.Fatalf("lost tasks: %d + %d", a, b)
+	}
+	// Class 6 (8 tasks) and class 7 (4 tasks) map to different shards.
+	if !(a == 8 && b == 4) && !(a == 4 && b == 8) {
+		t.Errorf("cost classes not segregated: shard loads %d/%d, want 8/4", a, b)
+	}
+}
+
+func TestPlacementKindString(t *testing.T) {
+	for _, k := range []PlacementKind{PlaceRoundRobin, PlaceLeastLoad, PlaceCostAffinity} {
+		if s := k.String(); s == "" || strings.HasPrefix(s, "PlacementKind(") {
+			t.Errorf("placement %d has no name", int(k))
+		}
+	}
+	if s := PlacementKind(42).String(); !strings.HasPrefix(s, "PlacementKind(") {
+		t.Errorf("unknown placement printed %q", s)
+	}
+}
+
+// TestShardedWaveMerge checks the merged WaveStats arithmetic: counts sum,
+// the requested ratio is the global command, and an empty wave reports the
+// requested ratio as provided (no 0/0 artifact), like a single runtime.
+func TestShardedWaveMerge(t *testing.T) {
+	r, err := New(Config{Shards: 3, Runtime: sig.Config{Workers: 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	g := r.Group("m", 0.6)
+	const n = 90
+	ranAcc := make([]atomic.Bool, n)
+	ranApx := make([]atomic.Bool, n)
+	r.SubmitBatch(g, specStream(n, nineLevels, ranAcc, ranApx))
+	ws := r.WaitPhase(g)
+	if ws.Submitted != n || ws.Decided() != n {
+		t.Errorf("merged wave submitted %d decided %d, want %d", ws.Submitted, ws.Decided(), n)
+	}
+	if ws.RequestedRatio != 0.6 {
+		t.Errorf("merged requested ratio %v, want the global command 0.6", ws.RequestedRatio)
+	}
+	if ws.Wave != 0 {
+		t.Errorf("first merged wave indexed %d", ws.Wave)
+	}
+	empty := r.WaitPhase(g)
+	if empty.Submitted != 0 || empty.Decided() != 0 {
+		t.Errorf("empty wave carries tasks: %+v", empty)
+	}
+	if empty.ProvidedRatio != empty.RequestedRatio {
+		t.Errorf("empty merged wave provided %v, want requested %v", empty.ProvidedRatio, empty.RequestedRatio)
+	}
+	if empty.Wave != 1 {
+		t.Errorf("wave epoch did not advance: %d", empty.Wave)
+	}
+}
+
+// laggingPolicy undershoots the requested ratio by half: the trim
+// controller must detect the lag from wave telemetry and boost the shard.
+type laggingPolicy struct{ g *sig.Group }
+
+func (p *laggingPolicy) Name() string { return "lagging" }
+func (p *laggingPolicy) Submit(t *sig.Task) (*sig.Task, []*sig.Task) {
+	// Run accurately only the top ratio/2 significance band: the provided
+	// ratio lands at about half the request at any trim, so the lag never
+	// closes and the trim integrator must rail at TrimMax.
+	if t.Significance >= 1-p.g.Ratio()/2 {
+		t.Decision = sig.DecideAccurate
+	} else {
+		t.Decision = sig.DecideApprox
+	}
+	return t, nil
+}
+func (p *laggingPolicy) Flush() []*sig.Task { return nil }
+func (p *laggingPolicy) WorkerDecide(worker int, t *sig.Task) sig.Decision {
+	return sig.DecideAccurate
+}
+
+// TestTrimBoostsLaggingShard: per-shard trim controllers integrate provided
+// lag, stay within [0, TrimMax], and raise the physical ratio above the
+// global command — never below it.
+func TestTrimBoostsLaggingShard(t *testing.T) {
+	r, err := New(Config{
+		Shards: 2,
+		Runtime: sig.Config{
+			Workers:   1,
+			NewPolicy: func(g *sig.Group) sig.Policy { return &laggingPolicy{g: g} },
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	g := r.Group("lag", 0.5)
+	const n = 100
+	for wave := 0; wave < 6; wave++ {
+		ranAcc := make([]atomic.Bool, n)
+		ranApx := make([]atomic.Bool, n)
+		r.SubmitBatch(g, specStream(n, func(i int) float64 { return float64(i%100)/100*0.98 + 0.01 }, ranAcc, ranApx))
+		r.WaitPhase(g)
+		for i := 0; i < 2; i++ {
+			trim := g.Trim(i)
+			if trim < 0 || trim > DefaultTrimMax+1e-12 {
+				t.Fatalf("wave %d shard %d trim %v outside [0, %v]", wave, i, trim, DefaultTrimMax)
+			}
+			if pr := g.Part(i).Ratio(); pr < g.Ratio()-1e-12 {
+				t.Fatalf("wave %d shard %d physical ratio %v below the global command %v", wave, i, pr, g.Ratio())
+			}
+		}
+	}
+	// The lagging policy guarantees lag, so the integrators must have
+	// railed at TrimMax by now.
+	if g.Trim(0) < DefaultTrimMax-1e-9 || g.Trim(1) < DefaultTrimMax-1e-9 {
+		t.Errorf("trims %v/%v did not integrate up to %v under persistent lag", g.Trim(0), g.Trim(1), DefaultTrimMax)
+	}
+}
+
+// TestDeterministicShardedReplay is the sharded face of the adaptive
+// replay contract: a full closed loop — router, GTB(max) shards, merged
+// waves observed by an adapt.TargetEnergy controller through OnWave —
+// replays bit-identically (ratio trajectory, outcome counts, per-wave
+// joules) at 1, 2 and 8 shards. Run under -race in CI.
+func TestDeterministicShardedReplay(t *testing.T) {
+	for _, shards := range []int{1, 2, 8} {
+		run := func() (trace []float64, joules []uint64, acc []int) {
+			ctl, err := adapt.New(adapt.Config{
+				Group:     "rep",
+				Objective: adapt.TargetEnergy,
+				Budget:    sig.DefaultActiveWatts * 400 * 1e-9, // ~half of full-accurate demand
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			r, err := New(Config{
+				Shards:  shards,
+				Runtime: sig.Config{Workers: 1, Policy: sig.PolicyGTBMaxBuffer},
+				OnWave:  func(g *Group, ws sig.WaveStats) { ctl.Observe(g, ws) },
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer r.Close()
+			g := r.Group("rep", 1.0)
+			const n = 80
+			for wave := 0; wave < 10; wave++ {
+				ranAcc := make([]atomic.Bool, n)
+				ranApx := make([]atomic.Bool, n)
+				r.SubmitBatch(g, specStream(n, nineLevels, ranAcc, ranApx))
+				ws := r.WaitPhase(g)
+				trace = append(trace, g.Ratio())
+				joules = append(joules, math.Float64bits(ws.Joules))
+				acc = append(acc, ws.Accurate)
+			}
+			return trace, joules, acc
+		}
+		t1, j1, a1 := run()
+		t2, j2, a2 := run()
+		for w := range t1 {
+			if t1[w] != t2[w] || j1[w] != j2[w] || a1[w] != a2[w] {
+				t.Fatalf("%d shards, wave %d diverged across identical runs: ratio %v/%v joules %x/%x accurate %d/%d",
+					shards, w, t1[w], t2[w], j1[w], j2[w], a1[w], a2[w])
+			}
+		}
+	}
+}

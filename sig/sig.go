@@ -759,22 +759,7 @@ func (rt *Runtime) Stats() Stats {
 	rt.mu.Unlock()
 	st := Stats{}
 	for _, g := range groups {
-		gs := GroupStats{
-			Name:           g.name,
-			Submitted:      g.submitted.Load(),
-			Accurate:       g.accurate.Load(),
-			Approximate:    g.approximate.Load(),
-			Dropped:        g.dropped.Load(),
-			RequestedRatio: g.Ratio(),
-			ProvidedRatio:  g.providedRatio(),
-			InBytes:        g.inBytes.Load(),
-			OutBytes:       g.outBytes.Load(),
-		}
-		if rt.cfg.RecordDecisions {
-			g.logMu.Lock()
-			gs.Decisions = append([]DecisionRecord(nil), g.log...)
-			g.logMu.Unlock()
-		}
+		gs := g.Stats()
 		st.Groups = append(st.Groups, gs)
 		st.Submitted += gs.Submitted
 		st.Accurate += gs.Accurate

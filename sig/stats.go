@@ -34,6 +34,36 @@ type GroupStats struct {
 	Decisions []DecisionRecord
 }
 
+// Counts returns the group's task counters — submitted, accurate,
+// approximate, dropped — without the decision-log copy Stats makes: the
+// O(1) read a per-wave merge loop (sig/shard) wants.
+func (g *Group) Counts() (submitted, accurate, approximate, dropped int64) {
+	return g.submitted.Load(), g.accurate.Load(), g.approximate.Load(), g.dropped.Load()
+}
+
+// Stats returns the group's own accounting snapshot, without taking the
+// runtime-wide lock Runtime.Stats needs. Sharded front ends (sig/shard) use
+// it to merge one logical group's counters across runtimes.
+func (g *Group) Stats() GroupStats {
+	gs := GroupStats{
+		Name:           g.name,
+		Submitted:      g.submitted.Load(),
+		Accurate:       g.accurate.Load(),
+		Approximate:    g.approximate.Load(),
+		Dropped:        g.dropped.Load(),
+		RequestedRatio: g.Ratio(),
+		ProvidedRatio:  g.providedRatio(),
+		InBytes:        g.inBytes.Load(),
+		OutBytes:       g.outBytes.Load(),
+	}
+	if g.rt.cfg.RecordDecisions {
+		g.logMu.Lock()
+		gs.Decisions = append([]DecisionRecord(nil), g.log...)
+		g.logMu.Unlock()
+	}
+	return gs
+}
+
 // DecisionRecord is one entry of a group's decision log.
 type DecisionRecord struct {
 	Significance float64
