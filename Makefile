@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: test vet race bench fuzz fuzz-serve fuzz-shard bench-adapt serve-study bench-shard
+.PHONY: test vet race bench fuzz fuzz-serve fuzz-shard bench-adapt serve-study bench-shard bench-multicore
 
 # -shuffle=on randomizes test order within each package so order-dependent
 # tests cannot hide behind file order; CI runs the same way.
@@ -49,3 +49,12 @@ serve-study:
 # BENCH_sig.json under the "shard" key.
 bench-shard:
 	$(GO) run ./cmd/sigbench shard -reps 3 -append-bench BENCH_sig.json
+
+# Run the GOMAXPROCS sweep (multi-producer submit, sharded burst ingest,
+# serving admission overhead at 1/2/4/8 procs) and append it with the host
+# shape to BENCH_sig.json under the "multicore" key. Built as a binary, not
+# `go run`, so the entry carries the vcs commit.
+bench-multicore:
+	$(GO) build -o sigbench.bin ./cmd/sigbench
+	./sigbench.bin multicore -reps 3 -append-bench BENCH_sig.json
+	rm -f sigbench.bin

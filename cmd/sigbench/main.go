@@ -14,6 +14,7 @@
 //	sigbench adaptive [-scale 0.25] [-setpoint 16] [-waves 24] [-append-bench BENCH_sig.json]
 //	sigbench serve  [-scale 0.25] [-workers 16] [-backend sobel|kmeans|all] [-shards 4] [-append-bench BENCH_sig.json]
 //	sigbench shard  [-reps 3] [-append-bench BENCH_sig.json]
+//	sigbench multicore [-procs 1,2,4,8] [-reps 3] [-append-bench BENCH_sig.json]
 //	sigbench all    [-scale 0.25] [-workers 16]
 //
 // Scale 1.0 reproduces evaluation-size problems; smaller scales shrink the
@@ -49,6 +50,7 @@ func main() {
 		appendTo = fs.String("append-bench", "", "adaptive/serve/shard: merge summary numbers into this BENCH json file")
 		backend  = fs.String("backend", "sobel", "serve: request backend (sobel, kmeans or all)")
 		shards   = fs.Int("shards", 0, "serve: run the sharded fleet scenario with this many runtime shards")
+		procs    = fs.String("procs", "", "multicore: comma-separated GOMAXPROCS levels (default 1,2,4,8)")
 	)
 	if err := fs.Parse(os.Args[2:]); err != nil {
 		os.Exit(2)
@@ -92,6 +94,8 @@ func main() {
 		err = runServe(*scale, *workers, *shards, *backend, *appendTo)
 	case "shard":
 		err = runShard(shardReps, *appendTo)
+	case "multicore":
+		err = runMulticore(*procs, shardReps, *appendTo)
 	case "all":
 		harness.Table1(os.Stdout)
 		fmt.Println()
@@ -124,7 +128,11 @@ func main() {
 			break
 		}
 		fmt.Println()
-		err = runShard(shardReps, "")
+		if err = runShard(shardReps, ""); err != nil {
+			break
+		}
+		fmt.Println()
+		err = runMulticore("", shardReps, "")
 	default:
 		usage()
 		os.Exit(2)
@@ -136,7 +144,7 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: sigbench {table1|fig1|fig2|fig3|fig4|table2|ablate|adaptive|serve|shard|all} [flags]")
+	fmt.Fprintln(os.Stderr, "usage: sigbench {table1|fig1|fig2|fig3|fig4|table2|ablate|adaptive|serve|shard|multicore|all} [flags]")
 	fmt.Fprintln(os.Stderr, "run 'sigbench <cmd> -h' for per-command flags")
 }
 
@@ -238,6 +246,7 @@ func appendBench(path string, res harness.AdaptiveResult) error {
 	}
 	return mergeBenchKey(path, "adaptive", map[string]any{
 		"subject":              "sig/adapt controller convergence (harness.AdaptiveStudy)",
+		"host":                 hostEntry(),
 		"setpoint_db":          res.Setpoint,
 		"tolerance":            res.Tolerance,
 		"sobel_oracle_ratio":   []float64{res.Segments[0].OracleRatio, res.Segments[1].OracleRatio},
@@ -262,6 +271,7 @@ func runServe(scale float64, workers, shards int, backend, appendTo string) erro
 	}
 	entry := map[string]any{
 		"subject": "sig/serve load-shedding under a 4x overload step (harness.ServeStudy)",
+		"host":    hostEntry(),
 	}
 	for i, name := range names {
 		if i > 0 {
@@ -318,6 +328,7 @@ func runShard(reps int, appendTo string) error {
 	}
 	return mergeBenchKey(appendTo, "shard", map[string]any{
 		"subject":              "sig/shard burst submit throughput and energy additivity (harness.ShardStudy)",
+		"host":                 hostEntry(),
 		"burst_tasks":          res.Burst,
 		"workers_per_shard":    res.WorkersPerShard,
 		"queue_capacity":       res.QueueCapacity,
@@ -326,6 +337,61 @@ func runShard(reps int, appendTo string) error {
 		"joules_bit_identical": res.JoulesAdditive,
 		"golden_joules":        res.GoldenJoules,
 	})
+}
+
+// runMulticore executes the GOMAXPROCS sweep, prints it, and (when
+// appendTo names a BENCH json file) merges the rows — host shape included —
+// under the "multicore" key.
+func runMulticore(procsFlag string, reps int, appendTo string) error {
+	var procs []int
+	if procsFlag != "" {
+		for _, s := range strings.Split(procsFlag, ",") {
+			var p int
+			if _, err := fmt.Sscanf(strings.TrimSpace(s), "%d", &p); err != nil || p < 1 {
+				return fmt.Errorf("bad -procs entry %q", s)
+			}
+			procs = append(procs, p)
+		}
+	}
+	res, err := harness.MulticoreStudy(harness.MulticoreConfig{Procs: procs, Reps: reps})
+	if err != nil {
+		return err
+	}
+	harness.PrintMulticoreStudy(os.Stdout, res)
+	if appendTo == "" {
+		return nil
+	}
+	rows := map[string]any{}
+	for _, row := range res.Rows {
+		rows[fmt.Sprintf("%d", row.Procs)] = map[string]any{
+			"submit_tput_per_s": row.SubmitTput,
+			"burst_tput_per_s":  row.BurstTput,
+			"admit_ns_per_req":  row.AdmitNsPerReq,
+		}
+	}
+	return mergeBenchKey(appendTo, "multicore", map[string]any{
+		"subject":      "GOMAXPROCS sweep: submit throughput, sharded burst ingest, serve admission overhead (harness.MulticoreStudy)",
+		"host":         hostEntry(),
+		"submit_tasks": res.SubmitTasks,
+		"burst_tasks":  res.Burst,
+		"serve_waves":  res.ServeWaves,
+		"per_wave":     res.PerWave,
+		"procs":        rows,
+	})
+}
+
+// hostEntry is the host-shape object every new BENCH entry carries.
+func hostEntry() map[string]any {
+	h := harness.Host()
+	e := map[string]any{
+		"cpus":       h.CPUs,
+		"gomaxprocs": h.GoMaxProcs,
+		"go":         h.GoVersion,
+	}
+	if h.Commit != "" {
+		e["commit"] = h.Commit
+	}
+	return e
 }
 
 func runAblations(opt harness.Options) error {

@@ -1,0 +1,290 @@
+package harness
+
+import (
+	"fmt"
+	"io"
+	"runtime"
+	"runtime/debug"
+	"sync"
+	"time"
+
+	"repro/sig"
+	"repro/sig/serve"
+)
+
+// MulticoreStudy sweeps GOMAXPROCS over the three parallel hot paths the
+// bench ledger's single-core history could never exercise: multi-producer
+// scalar Submit into one runtime (the lock-free submit path), the sharded
+// burst ingest of ShardStudy at the reference fleet size, and the serving
+// layer's per-request admission overhead under the ServeStudy overload
+// step's wave shape. Every row records the same workload at a different
+// GOMAXPROCS, and the result carries the host shape (runtime.NumCPU,
+// GOMAXPROCS levels, go version, vcs commit) so a BENCH_sig.json entry
+// states what hardware produced it instead of implying it.
+
+// HostShape identifies the machine and toolchain a measurement ran on.
+type HostShape struct {
+	CPUs       int    `json:"cpus"`
+	GoMaxProcs int    `json:"gomaxprocs"`
+	GoVersion  string `json:"go"`
+	Commit     string `json:"commit,omitempty"`
+}
+
+// Host captures the current process's host shape. The commit is the build's
+// vcs.revision when the binary was built inside a git checkout.
+func Host() HostShape {
+	h := HostShape{
+		CPUs:       runtime.NumCPU(),
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+		GoVersion:  runtime.Version(),
+	}
+	if bi, ok := debug.ReadBuildInfo(); ok {
+		for _, s := range bi.Settings {
+			if s.Key == "vcs.revision" {
+				h.Commit = s.Value
+				if len(h.Commit) > 12 {
+					h.Commit = h.Commit[:12]
+				}
+			}
+		}
+	}
+	return h
+}
+
+// MulticoreConfig parameterizes MulticoreStudy. Zero fields take defaults.
+type MulticoreConfig struct {
+	// Procs are the GOMAXPROCS levels to sweep (default 1, 2, 4, 8).
+	Procs []int
+	// SubmitTasks is the total task count of the multi-producer submit
+	// measurement (default 32768), split across one producer goroutine per
+	// GOMAXPROCS.
+	SubmitTasks int
+	// Reps is the best-of repetition count per measurement (default 3).
+	Reps int
+	// Shard configures the burst-ingest leg; the sweep measures the
+	// reference fleet size (SpeedupShards) at each GOMAXPROCS level.
+	Shard ShardStudyConfig
+	// ServeWaves is the length of the admission-overhead stream (default
+	// 24); each wave offers BasePerWave x Overload requests — the ServeStudy
+	// overload step held for the whole stream.
+	ServeWaves  int
+	BasePerWave int
+	Overload    float64
+}
+
+func (c MulticoreConfig) withDefaults() MulticoreConfig {
+	if len(c.Procs) == 0 {
+		c.Procs = []int{1, 2, 4, 8}
+	}
+	if c.SubmitTasks <= 0 {
+		c.SubmitTasks = 32768
+	}
+	if c.Reps <= 0 {
+		c.Reps = 3
+	}
+	c.Shard = c.Shard.withDefaults()
+	if c.ServeWaves <= 0 {
+		c.ServeWaves = 24
+	}
+	if c.BasePerWave <= 0 {
+		c.BasePerWave = 8
+	}
+	if c.Overload <= 1 {
+		c.Overload = 4
+	}
+	return c
+}
+
+// MulticoreRow is one GOMAXPROCS level's measurements.
+type MulticoreRow struct {
+	Procs int `json:"procs"`
+	// SubmitTput is multi-producer scalar Submit throughput in tasks/s
+	// (Procs producers into one runtime).
+	SubmitTput float64 `json:"submit_tput"`
+	// BurstTput is the sharded burst ingest throughput in tasks/s at the
+	// reference fleet size.
+	BurstTput float64 `json:"burst_tput"`
+	// AdmitNsPerReq is the serving layer's per-request overhead in
+	// nanoseconds — submit through wave resolution with trivial bodies —
+	// under the overload step's wave shape.
+	AdmitNsPerReq float64 `json:"admit_ns_per_req"`
+}
+
+// MulticoreResult is the outcome of the GOMAXPROCS sweep.
+type MulticoreResult struct {
+	Host        HostShape      `json:"host"`
+	SubmitTasks int            `json:"submit_tasks"`
+	Burst       int            `json:"burst"`
+	ServeWaves  int            `json:"serve_waves"`
+	PerWave     int            `json:"per_wave"`
+	Rows        []MulticoreRow `json:"rows"`
+}
+
+// measureSubmitTput times producers goroutines submitting total scalar
+// tasks into one max-buffering runtime: pure ingest, no execution in the
+// timed window (the policy buffers until the final Wait).
+func measureSubmitTput(producers, total, reps int) (float64, error) {
+	if producers < 1 {
+		producers = 1
+	}
+	per := total / producers
+	best := 0.0
+	for rep := 0; rep < reps; rep++ {
+		rt, err := sig.New(sig.Config{Workers: 1, Policy: sig.PolicyGTBMaxBuffer})
+		if err != nil {
+			return 0, err
+		}
+		g := rt.Group("mc", 1.0)
+		opts := []sig.TaskOption{sig.WithLabel(g), sig.WithSignificance(0.5), sig.WithCost(100, 10)}
+		var wg sync.WaitGroup
+		start := time.Now()
+		for p := 0; p < producers; p++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for i := 0; i < per; i++ {
+					rt.Submit(func() {}, opts...)
+				}
+			}()
+		}
+		wg.Wait()
+		elapsed := time.Since(start)
+		rt.Wait(g)
+		if err := rt.Close(); err != nil {
+			return 0, err
+		}
+		if tput := float64(per*producers) / elapsed.Seconds(); tput > best {
+			best = tput
+		}
+	}
+	return best, nil
+}
+
+// measureServeAdmit drives the overload step's wave shape — perWave
+// declared-cost requests offered per wave against a budget sized for
+// base-at-60% — with trivial bodies, so the measured wall time is the
+// serving layer's own per-request overhead: ticket and pending management,
+// admission, slab coalescing, batch ingest, wave resolution.
+func measureServeAdmit(waves, base int, overload float64, reps int) (float64, error) {
+	const costAcc, costDeg = 30_000.0, 4_000.0
+	perWave := int(float64(base) * overload)
+	best := 0.0
+	var bestNs float64
+	for rep := 0; rep < reps; rep++ {
+		s, err := serve.New(serve.Config{
+			Workers:    2,
+			WaveBudget: float64(base) * costAcc / serveUtilization,
+			QueueLimit: 64 * base,
+		})
+		if err != nil {
+			return 0, err
+		}
+		req := serve.Request{
+			Significance: 0.5,
+			Handler:      func() {},
+			Degraded:     func() {},
+			CostAccurate: costAcc,
+			CostDegraded: costDeg,
+		}
+		outstanding := make([]*serve.Ticket, 0, waves*perWave)
+		start := time.Now()
+		for w := 0; w < waves; w++ {
+			for i := 0; i < perWave; i++ {
+				tk, err := s.Submit(req)
+				if err != nil {
+					continue // rejected: counted by the server
+				}
+				outstanding = append(outstanding, tk)
+			}
+			s.RunWave()
+			// Recycle resolved tickets as a real caller would.
+			still := outstanding[:0]
+			for _, tk := range outstanding {
+				select {
+				case <-tk.Done():
+					tk.Release()
+				default:
+					still = append(still, tk)
+				}
+			}
+			outstanding = still
+		}
+		if err := s.Close(); err != nil {
+			return 0, err
+		}
+		elapsed := time.Since(start)
+		for _, tk := range outstanding {
+			tk.Release() // Close resolved the backlog
+		}
+		completed := s.Totals().Completed
+		if completed == 0 {
+			return 0, fmt.Errorf("harness: admission measurement completed no requests")
+		}
+		ns := float64(elapsed.Nanoseconds()) / float64(completed)
+		if tput := float64(completed) / elapsed.Seconds(); tput > best {
+			best = tput
+			bestNs = ns
+		}
+	}
+	return bestNs, nil
+}
+
+// MulticoreStudy runs the GOMAXPROCS sweep. It temporarily overrides the
+// process's GOMAXPROCS per row and restores it before returning.
+func MulticoreStudy(cfg MulticoreConfig) (MulticoreResult, error) {
+	cfg = cfg.withDefaults()
+	res := MulticoreResult{
+		Host:        Host(),
+		SubmitTasks: cfg.SubmitTasks,
+		Burst:       cfg.Shard.Burst,
+		ServeWaves:  cfg.ServeWaves,
+		PerWave:     int(float64(cfg.BasePerWave) * cfg.Overload),
+	}
+	prev := runtime.GOMAXPROCS(0)
+	defer runtime.GOMAXPROCS(prev)
+	for _, procs := range cfg.Procs {
+		if procs < 1 {
+			continue
+		}
+		runtime.GOMAXPROCS(procs)
+		row := MulticoreRow{Procs: procs}
+		var err error
+		if row.SubmitTput, err = measureSubmitTput(procs, cfg.SubmitTasks, cfg.Reps); err != nil {
+			return res, err
+		}
+		burst, err := measureBurst(cfg.Shard, SpeedupShards)
+		if err != nil {
+			return res, err
+		}
+		row.BurstTput = burst.IngestTput
+		if row.AdmitNsPerReq, err = measureServeAdmit(cfg.ServeWaves, cfg.BasePerWave, cfg.Overload, cfg.Reps); err != nil {
+			return res, err
+		}
+		res.Rows = append(res.Rows, row)
+	}
+	return res, nil
+}
+
+// PrintMulticoreStudy renders the sweep.
+func PrintMulticoreStudy(w io.Writer, r MulticoreResult) {
+	commit := r.Host.Commit
+	if commit == "" {
+		commit = "unknown"
+	}
+	fmt.Fprintf(w, "Multicore study: host %d CPU(s), %s, commit %s\n",
+		r.Host.CPUs, r.Host.GoVersion, commit)
+	fmt.Fprintf(w, "sweep: %d-task multi-producer submit, %d-task burst at %d shards, %d overload waves x %d requests\n",
+		r.SubmitTasks, r.Burst, SpeedupShards, r.ServeWaves, r.PerWave)
+	fmt.Fprintf(w, "%-10s %16s %16s %14s\n", "gomaxprocs", "submit ktasks/s", "ingest ktasks/s", "admit ns/req")
+	for _, row := range r.Rows {
+		fmt.Fprintf(w, "%-10d %16.1f %16.1f %14.1f\n",
+			row.Procs, row.SubmitTput/1e3, row.BurstTput/1e3, row.AdmitNsPerReq)
+	}
+	if len(r.Rows) >= 2 {
+		first, last := r.Rows[0], r.Rows[len(r.Rows)-1]
+		if first.SubmitTput > 0 && first.Procs == 1 {
+			fmt.Fprintf(w, "submit scaling at %d procs: %.2fx; burst ingest: %.2fx\n",
+				last.Procs, last.SubmitTput/first.SubmitTput, last.BurstTput/first.BurstTput)
+		}
+	}
+}

@@ -1,0 +1,47 @@
+package harness
+
+import (
+	"runtime"
+	"strings"
+	"testing"
+)
+
+// TestMulticoreStudy runs a miniature GOMAXPROCS sweep: every row must
+// produce live numbers for all three measurements, the process's
+// GOMAXPROCS must be restored afterwards, and the host shape must be
+// populated — that is what makes a BENCH_sig.json entry attributable to
+// real hardware.
+func TestMulticoreStudy(t *testing.T) {
+	before := runtime.GOMAXPROCS(0)
+	res, err := MulticoreStudy(MulticoreConfig{
+		Procs:       []int{1, 2},
+		SubmitTasks: 2048,
+		Reps:        1,
+		ServeWaves:  6,
+		Shard:       ShardStudyConfig{Burst: 128, SpinIters: 500, Reps: 1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if after := runtime.GOMAXPROCS(0); after != before {
+		t.Fatalf("GOMAXPROCS left at %d, want %d restored", after, before)
+	}
+	if res.Host.CPUs < 1 || res.Host.GoVersion == "" {
+		t.Errorf("host shape incomplete: %+v", res.Host)
+	}
+	if len(res.Rows) != 2 {
+		t.Fatalf("got %d rows, want 2", len(res.Rows))
+	}
+	for _, row := range res.Rows {
+		if row.SubmitTput <= 0 || row.BurstTput <= 0 || row.AdmitNsPerReq <= 0 {
+			t.Errorf("procs %d: degenerate measurements %+v", row.Procs, row)
+		}
+	}
+	var sb strings.Builder
+	PrintMulticoreStudy(&sb, res)
+	for _, want := range []string{"Multicore study", "gomaxprocs", "admit ns/req"} {
+		if !strings.Contains(sb.String(), want) {
+			t.Errorf("printer output missing %q:\n%s", want, sb.String())
+		}
+	}
+}

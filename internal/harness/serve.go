@@ -307,6 +307,7 @@ func serveOpenLoop(cfg ServeConfig, backend *ServeBackend, res *ServeResult) err
 	lats := make([]int, 0, len(tickets))
 	for _, tk := range tickets {
 		lats = append(lats, tk.WaveLatency())
+		tk.Release() // Close resolved every accepted ticket
 	}
 	sort.Ints(lats)
 	if len(lats) > 0 {
@@ -370,6 +371,7 @@ func serveClosedLoop(cfg ServeConfig, backend *ServeBackend, res *ServeResult) e
 			select {
 			case <-tk.Done():
 				lats = append(lats, tk.WaveLatency())
+				tk.Release()
 				completed++
 			default:
 				still = append(still, tk)
@@ -383,6 +385,9 @@ func serveClosedLoop(cfg ServeConfig, backend *ServeBackend, res *ServeResult) e
 	}
 	if err := s.Close(); err != nil {
 		return err
+	}
+	for _, tk := range outstanding {
+		tk.Release() // Close resolved the remaining in-flight requests
 	}
 	res.ClosedThroughput = float64(completedTotal) / float64(cfg.ClosedWaves)
 	res.ClosedRatio = lastRatio

@@ -97,6 +97,11 @@ type Config struct {
 	Deadband float64
 	// Min and Max bound the commanded ratio (defaults 0 and 1).
 	Min, Max float64
+	// TraceCap, when positive, bounds the retained control trace to the
+	// most recent TraceCap samples. Long-running controllers (a serving
+	// layer observing every wave for days) otherwise grow the trace without
+	// bound. Zero keeps the full trace.
+	TraceCap int
 }
 
 func (c Config) gain() float64 {
@@ -186,7 +191,14 @@ func New(cfg Config) (*Controller, error) {
 	if cfg.Min < 0 || cfg.Max > 1 || cfg.Min > cfg.Max {
 		return nil, fmt.Errorf("adapt: ratio bounds [%v,%v] outside [0,1]", cfg.Min, cfg.Max)
 	}
-	return &Controller{cfg: cfg}, nil
+	c := &Controller{cfg: cfg}
+	if cfg.TraceCap > 0 {
+		// The compaction bound is 2*TraceCap, so a capped trace never grows
+		// its backing array: observing a wave is allocation-free, which the
+		// serving layer's zero-alloc admission path depends on.
+		c.trace = make([]Sample, 0, 2*cfg.TraceCap)
+	}
+	return c, nil
 }
 
 // Target is the retunable surface the controller drives: a named group
@@ -226,6 +238,12 @@ func (c *Controller) Observe(g Target, ws sig.WaveStats) {
 	}
 	c.mu.Lock()
 	next, held := c.step(ws.RequestedRatio, measure)
+	// Compact lazily at 2x the cap so steady-state appends stay O(1)
+	// amortized: one copy per TraceCap waves, not per wave.
+	if tc := c.cfg.TraceCap; tc > 0 && len(c.trace) >= 2*tc {
+		kept := copy(c.trace, c.trace[len(c.trace)-tc+1:])
+		c.trace = c.trace[:kept]
+	}
 	c.trace = append(c.trace, Sample{
 		Wave:          ws.Wave,
 		Ratio:         ws.RequestedRatio,

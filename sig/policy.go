@@ -112,6 +112,16 @@ type LocklessSubmitter interface {
 	LocklessSubmit()
 }
 
+// BufferFlusher is an optional Policy extension for buffering policies:
+// FlushInto is Flush, but appends the decided tasks to dst (returning the
+// extended slice) instead of allocating a fresh one. The runtime's taskwait
+// path hands buffering policies a pooled buffer through it, which takes the
+// per-wave flush allocation off the steady-state path (see Runtime.drain).
+// The same hand-back-exactly-once contract as Flush applies.
+type BufferFlusher interface {
+	FlushInto(dst []*Task) []*Task
+}
+
 // newPolicy builds the built-in policy selected by cfg for group g.
 func newPolicy(cfg Config, g *Group, workers int) Policy {
 	switch cfg.Policy {
@@ -222,20 +232,35 @@ func (p *gtbPolicy) Submit(t *Task) (*Task, []*Task) {
 // target — a second integrator in the control loop that sends it into a
 // limit cycle.
 func (p *gtbPolicy) Flush() []*Task {
-	out := p.decide()
+	return p.FlushInto(nil)
+}
+
+// FlushInto is the allocation-free taskwait flush (BufferFlusher): the
+// decided buffer is appended to dst — typically a pooled dispatch buffer —
+// instead of a fresh slice, so a steady-state wave flush costs no heap.
+func (p *gtbPolicy) FlushInto(dst []*Task) []*Task {
+	out := p.decideInto(dst)
 	p.decidedTotal, p.decidedAccurate = 0, 0
 	return out
 }
 
-// decide ranks the buffered tasks by significance and marks the top share
-// accurate. The accurate quota is computed against the running totals, so
-// per-window rounding errors do not accumulate across windows. Ranking uses
-// an O(n) quickselect over (significance desc, Seq asc) — a strict total
-// order, so the accurate set is identical to what a stable sort would pick.
+// decide hands out the decided window as a fresh slice: the window-boundary
+// path of Submit, where the returned batch must outlive the policy lock
+// while the dispatcher enqueues it.
 func (p *gtbPolicy) decide() []*Task {
+	return p.decideInto(nil)
+}
+
+// decideInto ranks the buffered tasks by significance and marks the top
+// share accurate, appending them to dst in submission order. The accurate
+// quota is computed against the running totals, so per-window rounding
+// errors do not accumulate across windows. Ranking uses an O(n) quickselect
+// over (significance desc, Seq asc) — a strict total order, so the accurate
+// set is identical to what a stable sort would pick.
+func (p *gtbPolicy) decideInto(dst []*Task) []*Task {
 	n := len(p.buf)
 	if n == 0 {
-		return nil
+		return dst
 	}
 	ratio := p.g.Ratio()
 	want := int(math.Round(ratio*float64(p.decidedTotal+int64(n)))) - int(p.decidedAccurate)
@@ -266,12 +291,12 @@ func (p *gtbPolicy) decide() []*Task {
 			p.scratch[i] = nil // do not pin recycled tasks until next decide
 		}
 	}
-	// Hand out an exact-size copy and keep the grown buffer array for the
-	// next window: the copy is owned by the dispatcher (which may still be
-	// enqueueing it while new submissions buffer), while p.buf never pays
+	// Hand out a copy (appended to dst) and keep the grown buffer array for
+	// the next window: the copy is owned by the dispatcher (which may still
+	// be enqueueing it while new submissions buffer), while p.buf never pays
 	// append growth again in steady state.
-	out := make([]*Task, n)
-	copy(out, p.buf)
+	out := append(dst, p.buf...)
+	clear(p.buf)
 	p.buf = p.buf[:0]
 	p.decidedTotal += int64(n)
 	p.decidedAccurate += int64(want)

@@ -1,0 +1,322 @@
+package serve
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/sig"
+)
+
+// The serving admission hot path. A steady-state request allocates nothing:
+// Ticket and pending objects are drawn from pools and refcounted back,
+// admitted requests coalesce into cost-class-keyed slabs of prebuilt
+// TaskSpecs (one slab draw per serveSlabSize same-shaped requests instead of
+// per-request spec construction), and every per-wave scratch slice —
+// admit's batch, the open-class list, the flushed-slab list — is reused
+// across waves. The slabs feed sig's SubmitBatch slab ingest, so the batch
+// fast path PR 2 built for the scheduler now runs end-to-end from Submit.
+
+// serveSlabSize is how many requests one cost-class slab carries — matched
+// to sig's internal task slab size so one serve slab maps onto one task slab.
+const serveSlabSize = 64
+
+// serveTraceCap bounds the admission controller's retained trace: a server
+// pumping waves every few milliseconds for days must not grow its telemetry
+// without bound.
+const serveTraceCap = 1024
+
+// closedChan is the pre-closed channel Done returns once a pooled Ticket's
+// wave completed and its lazily-created channel (if any) has been retired.
+var closedChan = func() chan struct{} {
+	c := make(chan struct{})
+	close(c)
+	return c
+}()
+
+// Ticket tracks one admitted request through its wave. Tickets are pooled:
+// the server holds one reference until the request's wave resolves, the
+// caller holds the other. Calling Release returns the caller's reference so
+// the Ticket can be recycled; it is optional (an unreleased Ticket is
+// simply garbage collected) but must be the caller's last use — at most one
+// Release per Ticket, only after Done. Every accessor reads atomically, so
+// even a buggy late read on a recycled Ticket is race-free (it returns the
+// next request's values, not torn memory).
+type Ticket struct {
+	outcome   atomic.Int32
+	completed atomic.Bool
+	// refs counts the outstanding references (server + caller); the Ticket
+	// returns to the pool when both are released.
+	refs       atomic.Int32
+	enqWave    atomic.Int64
+	doneWave   atomic.Int64
+	enqueuedNs atomic.Int64
+	finishedNs atomic.Int64
+
+	mu   sync.Mutex
+	done chan struct{} // created lazily by Done; nil when nobody waited
+}
+
+// Done is closed when the request's wave completed. The channel is created
+// lazily: tickets polled through Outcome/Wait after completion never pay
+// for one.
+func (tk *Ticket) Done() <-chan struct{} {
+	if tk.completed.Load() {
+		return closedChan
+	}
+	tk.mu.Lock()
+	// Re-check under the lock: complete() marks done-ness under the same
+	// lock, so a completion between the fast-path check and here cannot
+	// leave us waiting on a channel nobody will close.
+	if tk.completed.Load() {
+		tk.mu.Unlock()
+		return closedChan
+	}
+	if tk.done == nil {
+		tk.done = make(chan struct{})
+	}
+	d := tk.done
+	tk.mu.Unlock()
+	return d
+}
+
+// Wait blocks until the request's wave completed and returns the outcome.
+func (tk *Ticket) Wait() Outcome {
+	<-tk.Done()
+	return Outcome(tk.outcome.Load())
+}
+
+// Outcome returns how the request was served; valid once Done is closed.
+func (tk *Ticket) Outcome() Outcome { return Outcome(tk.outcome.Load()) }
+
+// WaveLatency is the request's queueing+service delay in waves (≥ 1);
+// valid once Done is closed. It is the deterministic latency metric of the
+// wave-driven studies.
+func (tk *Ticket) WaveLatency() int { return int(tk.doneWave.Load() - tk.enqWave.Load() + 1) }
+
+// Latency is the wall-clock submit-to-completion delay; valid once Done is
+// closed.
+func (tk *Ticket) Latency() time.Duration {
+	return time.Duration(tk.finishedNs.Load() - tk.enqueuedNs.Load())
+}
+
+// Release returns the caller's reference to the Ticket pool. Optional — an
+// unreleased Ticket is garbage collected normally — but steady-state
+// callers that Release after reading their outcome make the admission path
+// allocation-free. Must be the last use: at most one Release per Ticket,
+// only after Done, and no accessor calls afterwards.
+func (tk *Ticket) Release() { tk.release() }
+
+// release drops one reference; the last one resets the Ticket and recycles
+// it.
+func (tk *Ticket) release() {
+	if tk.refs.Add(-1) != 0 {
+		return
+	}
+	tk.completed.Store(false)
+	tk.enqWave.Store(0)
+	tk.doneWave.Store(0)
+	tk.finishedNs.Store(0)
+	tk.mu.Lock()
+	tk.done = nil
+	tk.mu.Unlock()
+	ticketPool.Put(tk)
+}
+
+// complete publishes the wave resolution: latency metadata first, then the
+// done edge (flag + channel close) under mu so Done's lazy channel cannot
+// miss the close.
+func (tk *Ticket) complete(wave, nowNs int64) {
+	tk.doneWave.Store(wave)
+	tk.finishedNs.Store(nowNs)
+	tk.mu.Lock()
+	tk.completed.Store(true)
+	if tk.done != nil {
+		close(tk.done)
+		tk.done = nil
+	}
+	tk.mu.Unlock()
+}
+
+var (
+	ticketPool  sync.Pool // of *Ticket
+	pendingPool sync.Pool // of *pending
+)
+
+// getTicket draws a Ticket with both references (server + caller) live and
+// the outcome preset to Dropped — a request shed without running any body
+// needs no store at resolution time.
+func getTicket(nowNs int64) *Ticket {
+	tk, _ := ticketPool.Get().(*Ticket)
+	if tk == nil {
+		tk = &Ticket{}
+	}
+	tk.refs.Store(2)
+	tk.outcome.Store(int32(OutcomeDropped))
+	tk.enqueuedNs.Store(nowNs)
+	return tk
+}
+
+// discardTicket recycles a ticket that was never handed out (a rejected
+// Submit): both references are still ours.
+func discardTicket(tk *Ticket) {
+	tk.refs.Store(1)
+	tk.release()
+}
+
+func getPending() *pending {
+	p, _ := pendingPool.Get().(*pending)
+	if p == nil {
+		p = &pending{}
+	}
+	return p
+}
+
+// putPending recycles a pending after its wave, dropping the handler
+// closures and ticket reference.
+func putPending(p *pending) {
+	p.req = Request{}
+	p.tk = nil
+	pendingPool.Put(p)
+}
+
+// classKey identifies a cost class: requests with identical declared costs
+// and the same degradability build identical TaskSpecs except for their
+// significance and bodies, so one slab of prebuilt specs serves them all.
+type classKey struct {
+	acc    float64
+	deg    float64
+	hasDeg bool
+}
+
+// slabSlot carries the per-request state a slab spec's prebuilt closures
+// read when they run: the bodies and the ticket to mark.
+type slabSlot struct {
+	fn  func()
+	deg func()
+	tk  *Ticket
+}
+
+// waveSlab is one cost class's submission unit: serveSlabSize slots and the
+// matching prebuilt TaskSpecs whose closures capture their slot by pointer.
+// Filling slot i costs two pointer stores, a ticket store and a
+// significance store — no closure or spec construction. Slabs are recycled
+// wave-synchronously: WaitPhase guarantees every task of the wave has
+// completed before recycleSlabs runs, so no completion counting is needed.
+type waveSlab struct {
+	cls   *classState
+	n     int
+	slots [serveSlabSize]slabSlot
+	specs [serveSlabSize]sig.TaskSpec
+}
+
+// classState is one cost class's slab supply: a pool of prebuilt slabs and
+// the partially filled one of the current wave.
+type classState struct {
+	key  classKey
+	pool sync.Pool // of *waveSlab
+	cur  *waveSlab
+	open bool // already on this wave's openClasses list
+}
+
+func newClassState(key classKey) *classState {
+	cs := &classState{key: key}
+	cs.pool.New = func() any { return newWaveSlab(cs) }
+	return cs
+}
+
+// newWaveSlab prebuilds a class's specs once: the closures and cost fields
+// are paid here, then amortized over every wave the slab serves.
+func newWaveSlab(cs *classState) *waveSlab {
+	sl := &waveSlab{cls: cs}
+	k := cs.key
+	for i := range sl.slots {
+		slot := &sl.slots[i]
+		spec := &sl.specs[i]
+		spec.Fn = func() {
+			slot.fn()
+			slot.tk.outcome.Store(int32(OutcomeAccurate))
+		}
+		if k.hasDeg {
+			spec.Approx = func() {
+				slot.deg()
+				slot.tk.outcome.Store(int32(OutcomeDegraded))
+			}
+		}
+		spec.HasCost = k.acc > 0
+		spec.CostAccurate = k.acc
+		spec.CostApprox = k.deg
+	}
+	return sl
+}
+
+// coalesce routes one admitted request into its cost class's current slab,
+// submitting the slab to the engine the moment it fills. Called from
+// RunWave under waveMu.
+func (s *Server) coalesce(p *pending) {
+	key := classKey{acc: p.req.CostAccurate, deg: p.req.CostDegraded, hasDeg: p.req.Degraded != nil}
+	cs := s.classes[key]
+	if cs == nil {
+		if s.classes == nil {
+			s.classes = make(map[classKey]*classState)
+		}
+		cs = newClassState(key)
+		s.classes[key] = cs
+	}
+	if cs.cur == nil {
+		cs.cur = cs.pool.Get().(*waveSlab)
+		if !cs.open {
+			cs.open = true
+			s.openClasses = append(s.openClasses, cs)
+		}
+	}
+	sl := cs.cur
+	i := sl.n
+	sl.slots[i] = slabSlot{fn: p.req.Handler, deg: p.req.Degraded, tk: p.tk}
+	sv := p.req.Significance
+	if sv <= 0 {
+		sv = -1 // batch spelling of the special 0.0
+	}
+	sl.specs[i].Significance = sv
+	sl.n++
+	if sl.n == serveSlabSize {
+		s.eng.SubmitBatch(sl.specs[:sl.n])
+		s.waveSlabs = append(s.waveSlabs, sl)
+		cs.cur = nil
+	}
+}
+
+// flushSlabs submits every class's partial slab, in class-first-seen order
+// (deterministic for a deterministic arrival order), and resets the
+// open-class list for the next wave.
+func (s *Server) flushSlabs() {
+	for i, cs := range s.openClasses {
+		if sl := cs.cur; sl != nil {
+			if sl.n > 0 {
+				s.eng.SubmitBatch(sl.specs[:sl.n])
+				s.waveSlabs = append(s.waveSlabs, sl)
+			} else {
+				cs.pool.Put(sl)
+			}
+			cs.cur = nil
+		}
+		cs.open = false
+		s.openClasses[i] = nil
+	}
+	s.openClasses = s.openClasses[:0]
+}
+
+// recycleSlabs returns the wave's submitted slabs to their class pools.
+// Callable only after WaitPhase: every task of the wave has completed, so
+// no prebuilt closure can still run against a cleared slot.
+func (s *Server) recycleSlabs() {
+	for i, sl := range s.waveSlabs {
+		for j := 0; j < sl.n; j++ {
+			sl.slots[j] = slabSlot{} // drop body closures and ticket refs
+		}
+		sl.n = 0
+		sl.cls.pool.Put(sl)
+		s.waveSlabs[i] = nil
+	}
+	s.waveSlabs = s.waveSlabs[:0]
+}

@@ -1,0 +1,147 @@
+package serve
+
+import (
+	"sync"
+	"testing"
+)
+
+// TestServeSubmitAllocs is the zero-alloc gate of the serving admission
+// path: once the pools are warm, a full steady-state wave — benchWave
+// Submits, one RunWave, ticket reads and Releases — performs no heap
+// allocation at all, on any goroutine. It mirrors sig's TestSubmitAllocs
+// one layer up: the request path from Submit through slab-coalesced batch
+// ingest to ticket resolution.
+func TestServeSubmitAllocs(t *testing.T) {
+	if testing.Short() {
+		t.Skip("alloc accounting is noisy under -short race runs")
+	}
+	if raceEnabled {
+		// -race defeats every sync.Pool on purpose (Put drops ~25% of
+		// items), so the zero-alloc property cannot be observed; the
+		// non-race job is the gate, the race job checks reuse safety.
+		t.Skip("sync.Pool poisons Puts under -race; zero-alloc not observable")
+	}
+	s := newBenchServer(t)
+	defer s.Close()
+	req := benchRequest()
+	tks := make([]*Ticket, 0, benchWave)
+	wave := func() {
+		for i := 0; i < benchWave; i++ {
+			tk, err := s.Submit(req)
+			if err != nil {
+				t.Fatal(err)
+			}
+			tks = append(tks, tk)
+		}
+		s.RunWave()
+		for _, tk := range tks {
+			_ = tk.Outcome()
+			_ = tk.WaveLatency()
+		}
+		tks = recycleTickets(tks)
+	}
+	// Warm every pool and reusable buffer: ticket/pending pools, the
+	// wave's slab, admit's batch buffer, the queue's backing array.
+	for i := 0; i < 8; i++ {
+		wave()
+	}
+	avg := testing.AllocsPerRun(100, wave)
+	if avg > 0.5 {
+		t.Errorf("%.2f allocs per steady-state wave of %d requests, want 0", avg, benchWave)
+	}
+}
+
+// TestTicketReuseSafety: pooled tickets may be read after their wave by a
+// holder that already called Release (a bug, but a common one) — every
+// accessor must stay race-free while the ticket is recycled and serves a
+// new request. The stale reader loops over the full accessor surface while
+// the main goroutine recycles the ticket through many reuse cycles; -race
+// is the oracle. Properly used tickets must keep resolving correctly
+// throughout.
+func TestTicketReuseSafety(t *testing.T) {
+	s := newBenchServer(t)
+	defer s.Close()
+	req := benchRequest()
+
+	stale, err := s.Submit(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.RunWave()
+	if o := stale.Wait(); o != OutcomeAccurate && o != OutcomeDegraded {
+		t.Fatalf("warm-up request resolved %v", o)
+	}
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			// Stale reads on a possibly-recycled ticket: values are
+			// unspecified, but the reads must be race-free.
+			_ = stale.Outcome()
+			_ = stale.WaveLatency()
+			_ = stale.Latency()
+			select {
+			case <-stale.Done():
+			default:
+			}
+		}
+	}()
+
+	// Recycle the stale ticket and reuse the pool hard: each cycle likely
+	// hands the same Ticket object to a new request while the reader above
+	// still pokes at it.
+	stale.Release()
+	for i := 0; i < 200; i++ {
+		tk, err := s.Submit(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s.RunWave()
+		if o := tk.Wait(); o != OutcomeAccurate && o != OutcomeDegraded {
+			t.Fatalf("cycle %d resolved %v", i, o)
+		}
+		if tk.WaveLatency() < 1 {
+			t.Fatalf("cycle %d: wave latency %d < 1", i, tk.WaveLatency())
+		}
+		tk.Release()
+	}
+	close(stop)
+	wg.Wait()
+}
+
+// TestTicketReleaseOptional: an unreleased ticket keeps its resolved state
+// forever — Release is an optimization, not an obligation.
+func TestTicketReleaseOptional(t *testing.T) {
+	s := newBenchServer(t)
+	req := benchRequest()
+	var tks []*Ticket
+	for i := 0; i < benchWave; i++ {
+		tk, err := s.Submit(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tks = append(tks, tk)
+	}
+	s.RunWave()
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	for i, tk := range tks {
+		if o := tk.Outcome(); o != OutcomeAccurate && o != OutcomeDegraded {
+			t.Errorf("request %d resolved %v after Close", i, o)
+		}
+		select {
+		case <-tk.Done():
+		default:
+			t.Errorf("request %d: Done not closed", i)
+		}
+	}
+}

@@ -146,37 +146,6 @@ func (o Outcome) String() string {
 	return fmt.Sprintf("Outcome(%d)", int(o))
 }
 
-// Ticket tracks one admitted request through its wave.
-type Ticket struct {
-	done     chan struct{}
-	outcome  atomic.Int32
-	enqWave  int64
-	doneWave int64
-	enqueued time.Time
-	finished time.Time
-}
-
-// Done is closed when the request's wave completed.
-func (tk *Ticket) Done() <-chan struct{} { return tk.done }
-
-// Wait blocks until the request's wave completed and returns the outcome.
-func (tk *Ticket) Wait() Outcome {
-	<-tk.done
-	return Outcome(tk.outcome.Load())
-}
-
-// Outcome returns how the request was served; valid once Done is closed.
-func (tk *Ticket) Outcome() Outcome { return Outcome(tk.outcome.Load()) }
-
-// WaveLatency is the request's queueing+service delay in waves (≥ 1);
-// valid once Done is closed. It is the deterministic latency metric of the
-// wave-driven studies.
-func (tk *Ticket) WaveLatency() int { return int(tk.doneWave - tk.enqWave + 1) }
-
-// Latency is the wall-clock submit-to-completion delay; valid once Done is
-// closed.
-func (tk *Ticket) Latency() time.Duration { return tk.finished.Sub(tk.enqueued) }
-
 // Errors returned by Submit.
 var (
 	// ErrQueueFull: the admission queue is at QueueLimit — the request is
@@ -337,6 +306,15 @@ type Server struct {
 	closed   bool
 	lastLoad float64
 
+	// Per-wave hot-path state, touched only under waveMu (see hotpath.go):
+	// admit's reused batch buffer, the cost-class slab registry, the classes
+	// with a partially filled slab this wave, and the wave's submitted slabs
+	// awaiting recycle.
+	wavePending []*pending
+	classes     map[classKey]*classState
+	openClasses []*classState
+	waveSlabs   []*waveSlab
+
 	// closeDone is closed (after closeErr is set) once the winning Close
 	// finished draining and retired the engine; losing concurrent Close
 	// calls block on it so a returned Close always means "shut down".
@@ -387,6 +365,7 @@ func New(cfg Config) (*Server, error) {
 		Measure:   s.measure,
 		Min:       cfg.MinRatio,
 		Max:       1,
+		TraceCap:  serveTraceCap,
 	})
 	if err != nil {
 		return nil, err
@@ -472,24 +451,30 @@ func (s *Server) Submit(req Request) (*Ticket, error) {
 		return nil, fmt.Errorf("serve: request declares CostAccurate but not the Degraded handler's cost")
 	}
 	s.tot.submitted.Add(1)
-	tk := &Ticket{done: make(chan struct{}), enqueued: time.Now()}
-	tk.outcome.Store(int32(OutcomeDropped))
+	tk := getTicket(time.Now().UnixNano())
+	p := getPending()
+	p.req = req
+	p.tk = tk
 	s.mu.Lock()
 	if s.closed {
 		s.mu.Unlock()
 		s.tot.rejected.Add(1)
+		putPending(p)
+		discardTicket(tk)
 		return nil, ErrClosed
 	}
 	if len(s.queue) >= s.cfg.QueueLimit {
 		s.mu.Unlock()
 		s.tot.rejected.Add(1)
+		putPending(p)
+		discardTicket(tk)
 		return nil, ErrQueueFull
 	}
-	tk.enqWave = s.wave.Load()
+	tk.enqWave.Store(s.wave.Load())
 	c := s.reqCosts(&req)
 	s.qCost.add(c)
 	s.arrCost.add(c)
-	s.queue = append(s.queue, &pending{req: req, tk: tk})
+	s.queue = append(s.queue, p)
 	s.mu.Unlock()
 	return tk, nil
 }
@@ -520,28 +505,36 @@ func (s *Server) measure(ws sig.WaveStats) float64 {
 // admit pops the next wave's worth of requests: FIFO, while the expected
 // modeled cost at the current ratio fits WaveBudget (always at least one
 // when the queue is non-empty, so a single oversized request cannot wedge
-// the queue).
+// the queue). The returned batch is the server's reused wavePending buffer
+// (valid until the next admit); the remainder compacts to the front of the
+// queue's backing array, so steady-state waves neither grow nor churn it.
 func (s *Server) admit() []*pending {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	ratio := s.eng.Ratio()
-	var batch []*pending
+	batch := s.wavePending[:0]
 	var cost float64
-	for len(s.queue) > 0 {
-		p := s.queue[0]
+	n := 0
+	for n < len(s.queue) {
+		p := s.queue[n]
 		c := s.reqCosts(&p.req)
-		if len(batch) > 0 && cost+c.at(ratio) > s.cfg.WaveBudget {
+		if n > 0 && cost+c.at(ratio) > s.cfg.WaveBudget {
 			break
 		}
 		batch = append(batch, p)
 		cost += c.at(ratio)
 		s.qCost.sub(c)
-		s.queue[0] = nil
-		s.queue = s.queue[1:]
+		n++
+	}
+	if n > 0 {
+		rem := copy(s.queue, s.queue[n:])
+		clear(s.queue[rem:])
+		s.queue = s.queue[:rem]
 	}
 	if len(s.queue) == 0 && cap(s.queue) > max(64, s.cfg.QueueLimit/8) {
 		s.queue = nil // release a burst-grown backing array once it drains
 	}
+	s.wavePending = batch
 	return batch
 }
 
@@ -563,40 +556,22 @@ func (s *Server) RunWave() WaveReport {
 
 	rep := WaveReport{Wave: int(s.wave.Load()), Admitted: len(batch), Ratio: ratio}
 	if len(batch) > 0 {
-		specs := make([]sig.TaskSpec, len(batch))
-		for i, p := range batch {
-			p := p
-			specs[i] = sig.TaskSpec{
-				Fn: func() {
-					p.req.Handler()
-					p.tk.outcome.Store(int32(OutcomeAccurate))
-				},
-				Significance: p.req.Significance,
-				HasCost:      p.req.CostAccurate > 0,
-				CostAccurate: p.req.CostAccurate,
-				CostApprox:   p.req.CostDegraded,
-			}
-			if p.req.Significance <= 0 {
-				specs[i].Significance = -1 // batch spelling of the special 0.0
-			}
-			if p.req.Degraded != nil {
-				deg := p.req.Degraded
-				specs[i].Approx = func() {
-					deg()
-					p.tk.outcome.Store(int32(OutcomeDegraded))
-				}
-			}
+		// Coalesce the batch into cost-class slabs of prebuilt specs; full
+		// slabs submit as they fill, partials flush after (see hotpath.go).
+		for _, p := range batch {
+			s.coalesce(p)
 		}
-		s.eng.SubmitBatch(specs)
+		s.flushSlabs()
 	}
 	ws := s.eng.WaitPhase() // admission controller observes here
 	wave := s.wave.Add(1) - 1
-	now := time.Now()
-	for _, p := range batch {
-		p.tk.doneWave = wave
-		p.tk.finished = now
-		close(p.tk.done)
-		switch Outcome(p.tk.outcome.Load()) {
+	nowNs := time.Now().UnixNano()
+	for i, p := range batch {
+		tk := p.tk
+		tk.complete(wave, nowNs)
+		// Read the outcome before dropping the server's reference: after
+		// release the ticket may already be recycled by a concurrent Submit.
+		switch Outcome(tk.outcome.Load()) {
 		case OutcomeAccurate:
 			rep.Accurate++
 		case OutcomeDegraded:
@@ -604,7 +579,11 @@ func (s *Server) RunWave() WaveReport {
 		default:
 			rep.Dropped++
 		}
+		tk.release()
+		putPending(p)
+		batch[i] = nil
 	}
+	s.recycleSlabs()
 	s.tot.completed.Add(int64(len(batch)))
 	s.tot.accurate.Add(int64(rep.Accurate))
 	s.tot.degraded.Add(int64(rep.Degraded))

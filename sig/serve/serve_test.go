@@ -4,6 +4,7 @@ import (
 	"errors"
 	"math"
 	"sort"
+	"sync/atomic"
 	"testing"
 
 	"repro/sig"
@@ -36,12 +37,13 @@ func newTestServer(t *testing.T, base int, mut func(*Config)) *Server {
 }
 
 // request builds the i-th deterministic test request: nine significance
-// levels, declared costs, a degraded body.
-func request(i int, served *[3]int) Request {
+// levels, declared costs, a degraded body. The counters are atomic: with
+// Workers >= 2 the bodies of one wave run concurrently.
+func request(i int, served *[3]atomic.Int64) Request {
 	return Request{
 		Significance: float64(i%9+1) / 10,
-		Handler:      func() { served[0]++ },
-		Degraded:     func() { served[1]++ },
+		Handler:      func() { served[0].Add(1) },
+		Degraded:     func() { served[1].Add(1) },
 		CostAccurate: costAcc,
 		CostDegraded: costDeg,
 	}
@@ -50,7 +52,7 @@ func request(i int, served *[3]int) Request {
 func TestServeBasicWave(t *testing.T) {
 	s := newTestServer(t, 8, nil)
 	defer s.Close()
-	var served [3]int
+	var served [3]atomic.Int64
 	var tks []*Ticket
 	for i := 0; i < 8; i++ {
 		tk, err := s.Submit(request(i, &served))
@@ -78,8 +80,8 @@ func TestServeBasicWave(t *testing.T) {
 	if acc != rep.Accurate || deg != rep.Degraded {
 		t.Errorf("ticket outcomes %d/%d disagree with report %d/%d", acc, deg, rep.Accurate, rep.Degraded)
 	}
-	if acc != served[0] || deg != served[1] {
-		t.Errorf("outcomes %d/%d vs bodies run %d/%d", acc, deg, served[0], served[1])
+	if int64(acc) != served[0].Load() || int64(deg) != served[1].Load() {
+		t.Errorf("outcomes %d/%d vs bodies run %d/%d", acc, deg, served[0].Load(), served[1].Load())
 	}
 	tot := s.Totals()
 	if tot.Submitted != 8 || tot.Completed != 8 || tot.Rejected != 0 {
@@ -100,7 +102,7 @@ func TestServeOverloadShedsQualityFirst(t *testing.T) {
 	)
 	run := func() (rows []WaveReport, lats []int, rejected int64, joules []float64) {
 		s := newTestServer(t, base, nil)
-		var served [3]int
+		var served [3]atomic.Int64
 		var tks []*Ticket
 		seq := 0
 		for w := 0; w < waves; w++ {
@@ -239,7 +241,7 @@ func TestServeDroppedRequestsCostZeroJoules(t *testing.T) {
 
 func TestServeQueueLimitAndClose(t *testing.T) {
 	s := newTestServer(t, 4, func(c *Config) { c.QueueLimit = 3 })
-	var served [3]int
+	var served [3]atomic.Int64
 	var tks []*Ticket
 	full := 0
 	for i := 0; i < 5; i++ {
@@ -285,7 +287,7 @@ func TestServeMinRatioHonored(t *testing.T) {
 		c.MinRatio = 0.6
 		c.QueueLimit = 16
 	})
-	var served [3]int
+	var served [3]atomic.Int64
 	for w := 0; w < 12; w++ {
 		for i := 0; i < 16; i++ { // 4x the base the budget was sized for
 			s.Submit(request(w*16+i, &served))
@@ -312,7 +314,7 @@ func TestServeEnergyBudgetCapsJoules(t *testing.T) {
 		c.WaveBudget = 100 * base * costAcc // work capacity never binds
 		c.EnergyBudget = budget
 	})
-	var served [3]int
+	var served [3]atomic.Int64
 	var last WaveReport
 	for w := 0; w < 12; w++ {
 		for i := 0; i < base; i++ {
@@ -339,7 +341,7 @@ func TestServeStartPump(t *testing.T) {
 	s := newTestServer(t, 8, func(c *Config) { c.WavePeriod = 500_000 }) // 0.5ms
 	s.Start()
 	s.Start() // idempotent
-	var served [3]int
+	var served [3]atomic.Int64
 	var tks []*Ticket
 	for i := 0; i < 20; i++ {
 		tk, err := s.Submit(request(i, &served))
@@ -370,7 +372,7 @@ func TestServeStartPump(t *testing.T) {
 func TestServeIdleWavesRecoverRatio(t *testing.T) {
 	s := newTestServer(t, 8, nil)
 	defer s.Close()
-	var served [3]int
+	var served [3]atomic.Int64
 	// Overload hard enough to shed the ratio.
 	seq := 0
 	for w := 0; w < 6; w++ {
@@ -405,7 +407,7 @@ func TestServeIdleWavesRecoverRatio(t *testing.T) {
 func TestServeCloseRacingRunWave(t *testing.T) {
 	for round := 0; round < 8; round++ {
 		s := newTestServer(t, 8, nil)
-		var served [3]int
+		var served [3]atomic.Int64
 		var tks []*Ticket
 		for i := 0; i < 64; i++ {
 			tk, err := s.Submit(request(i, &served))
@@ -449,7 +451,7 @@ func TestServeCloseRacingRunWave(t *testing.T) {
 // ticket is resolved and the energy report is frozen.
 func TestServeConcurrentClose(t *testing.T) {
 	s := newTestServer(t, 8, nil)
-	var served [3]int
+	var served [3]atomic.Int64
 	var tks []*Ticket
 	for i := 0; i < 48; i++ {
 		tk, err := s.Submit(request(i, &served))
@@ -500,7 +502,7 @@ func TestServeShardedOverload(t *testing.T) {
 			c.Shards = 4
 			c.Workers = 1
 		})
-		var served [3]int
+		var served [3]atomic.Int64
 		seq := 0
 		for w := 0; w < 20; w++ {
 			offered := base

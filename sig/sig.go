@@ -651,16 +651,34 @@ func (g *Group) providedRatio() float64 {
 }
 
 // drain flushes the group's policy buffer and blocks until every task of
-// the group has completed (or been dropped).
+// the group has completed (or been dropped). Policies implementing
+// BufferFlusher flush into a pooled scratch slice, so a steady-state
+// Wait cycle performs no allocation at all.
 func (rt *Runtime) drain(g *Group) {
+	var (
+		ready   []*Task
+		scratch *[]*Task
+	)
+	fi, pooled := g.policy.(BufferFlusher)
+	if pooled {
+		scratch = rt.pools.getDispatch()
+	}
 	g.mu.Lock()
-	ready := g.policy.Flush()
+	if pooled {
+		ready = fi.FlushInto(*scratch)
+	} else {
+		ready = g.policy.Flush()
+	}
 	if len(ready) > 0 {
 		g.pending.Add(int64(len(ready)))
 	}
 	g.mu.Unlock()
 	if len(ready) > 0 {
 		rt.dispatchBatch(ready)
+	}
+	if pooled {
+		*scratch = ready
+		rt.pools.putDispatch(scratch)
 	}
 	g.waitIdle()
 }
