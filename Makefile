@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: test vet race bench fuzz fuzz-serve fuzz-shard bench-adapt serve-study bench-shard bench-multicore
+.PHONY: test vet race bench fuzz fuzz-serve fuzz-shard fuzz-chaos chaos bench-adapt serve-study bench-shard bench-multicore bench-fleet
 
 # -shuffle=on randomizes test order within each package so order-dependent
 # tests cannot hide behind file order; CI runs the same way.
@@ -30,9 +30,22 @@ fuzz-serve:
 	$(GO) test ./sig/serve -run '^$$' -fuzz FuzzServeAdmission -fuzztime 20s -fuzzminimizetime 1x
 
 # `fuzz-shard` drives the cross-shard routing invariants (conservation,
-# specials, merged ratio floor) under adversarial placement/drain streams.
+# specials, merged ratio floor) under adversarial placement/drain streams,
+# now including rejoin/quarantine/revive fleet surgery.
 fuzz-shard:
 	$(GO) test ./sig/shard -run '^$$' -fuzz FuzzShardRouting -fuzztime 20s -fuzzminimizetime 1x
+
+# `fuzz-chaos` replays seeded fault schedules (wedge, delay, panic) against
+# a live fleet and checks conservation plus the exact energy identity.
+fuzz-chaos:
+	$(GO) test ./sig/chaos -run '^$$' -fuzz FuzzChaosSchedule -fuzztime 20s -fuzzminimizetime 1x
+
+# Fault-injection and fleet-surgery suites under the race detector: the
+# chaos injectors, elastic router surgery, health quarantine and the
+# rolling-replace/autoscale acceptance gates.
+chaos:
+	$(GO) test -race -shuffle=on ./sig/chaos ./sig/shard ./sig/serve -count=1
+	$(GO) test -race -run 'TestFleetStudy' ./internal/harness -count=1
 
 # Run the adaptive-controller study and append its convergence numbers to
 # BENCH_sig.json under the "adaptive" key.
@@ -58,3 +71,9 @@ bench-multicore:
 	$(GO) build -o sigbench.bin ./cmd/sigbench
 	./sigbench.bin multicore -reps 3 -append-bench BENCH_sig.json
 	rm -f sigbench.bin
+
+# Run the elastic-fleet study (rolling shard replacement with bit-exact
+# energy, autoscaler step response) and append its summary with the host
+# shape to BENCH_sig.json under the "fleet" key.
+bench-fleet:
+	$(GO) run ./cmd/sigbench fleet -append-bench BENCH_sig.json

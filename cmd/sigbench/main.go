@@ -14,6 +14,7 @@
 //	sigbench adaptive [-scale 0.25] [-setpoint 16] [-waves 24] [-append-bench BENCH_sig.json]
 //	sigbench serve  [-scale 0.25] [-workers 16] [-backend sobel|kmeans|all] [-shards 4] [-append-bench BENCH_sig.json]
 //	sigbench shard  [-reps 3] [-append-bench BENCH_sig.json]
+//	sigbench fleet  [-append-bench BENCH_sig.json]
 //	sigbench multicore [-procs 1,2,4,8] [-reps 3] [-append-bench BENCH_sig.json]
 //	sigbench all    [-scale 0.25] [-workers 16]
 //
@@ -94,6 +95,8 @@ func main() {
 		err = runServe(*scale, *workers, *shards, *backend, *appendTo)
 	case "shard":
 		err = runShard(shardReps, *appendTo)
+	case "fleet":
+		err = runFleet(*appendTo)
 	case "multicore":
 		err = runMulticore(*procs, shardReps, *appendTo)
 	case "all":
@@ -132,6 +135,10 @@ func main() {
 			break
 		}
 		fmt.Println()
+		if err = runFleet(""); err != nil {
+			break
+		}
+		fmt.Println()
 		err = runMulticore("", shardReps, "")
 	default:
 		usage()
@@ -144,7 +151,7 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: sigbench {table1|fig1|fig2|fig3|fig4|table2|ablate|adaptive|serve|shard|multicore|all} [flags]")
+	fmt.Fprintln(os.Stderr, "usage: sigbench {table1|fig1|fig2|fig3|fig4|table2|ablate|adaptive|serve|shard|fleet|multicore|all} [flags]")
 	fmt.Fprintln(os.Stderr, "run 'sigbench <cmd> -h' for per-command flags")
 }
 
@@ -336,6 +343,35 @@ func runShard(reps int, appendTo string) error {
 		"speedup_4_shards":     res.Speedup,
 		"joules_bit_identical": res.JoulesAdditive,
 		"golden_joules":        res.GoldenJoules,
+	})
+}
+
+// runFleet executes the elastic-fleet study (rolling replace + autoscale
+// step response), prints it, and (when appendTo names a BENCH json file)
+// merges the summary under the "fleet" key.
+func runFleet(appendTo string) error {
+	res, err := harness.FleetStudy(harness.FleetStudyConfig{})
+	if err != nil {
+		return err
+	}
+	harness.PrintFleetStudy(os.Stdout, res)
+	if appendTo == "" {
+		return nil
+	}
+	return mergeBenchKey(appendTo, "fleet", map[string]any{
+		"subject":              "self-healing elastic fleet: rolling replace + autoscale step response (harness.FleetStudy)",
+		"host":                 hostEntry(),
+		"shards":               res.Replace.Shards,
+		"replaced":             res.Replace.Replaced,
+		"submitted":            res.Replace.Submitted,
+		"lost":                 res.Replace.Lost,
+		"degraded_waves":       res.Replace.DegradedWaves,
+		"joules_bit_identical": res.Replace.JoulesBitIdentical,
+		"merged_joules":        res.Replace.MergedJoules,
+		"waves_to_scale_up":    res.Scale.WavesToScaleUp,
+		"waves_to_scale_down":  res.Scale.WavesToScaleDown,
+		"oscillations":         res.Scale.Oscillations,
+		"live_trajectory":      res.Scale.Trajectory,
 	})
 }
 

@@ -8,17 +8,26 @@
 //
 //	sigserve [-addr :8080] [-backend sobel|kmeans] [-scale 0.25]
 //	         [-workers 0] [-shards 1] [-period 5ms] [-queue 4096]
-//	         [-minratio 0] [-target-load 1.0]
+//	         [-minratio 0] [-target-load 1.0] [-deadline 0]
+//	         [-autoscale] [-max-shards 0]
 //
 // With -shards N (N ≥ 2) the server runs over a shard.Router fleet of N
 // runtime shards (-workers is then the per-shard pool) and the admission
 // controller is hierarchical: global load cap over merged waves, per-shard
-// ratio trim underneath.
+// ratio trim underneath. -autoscale additionally lets the fleet grow and
+// shrink between 1 and -max-shards (default 2×N) live shards with demand.
+//
+// -deadline D gives every request a default deadline D from arrival
+// (0 = none); a request may override it with ?deadline_ms=N. Requests that
+// expire before Submit are rejected 504; requests that expire while queued
+// resolve as the timed-out outcome, also 504, at zero modeled joules.
+// Queue-full rejections are 503 with a Retry-After header carrying the
+// server's backlog-drain estimate.
 //
 // Endpoints:
 //
 //	GET /work?tier=gold|silver|bronze|batch   serve one request at the
-//	    (or ?sig=0.7)                         tier's significance
+//	    (or ?sig=0.7) [&deadline_ms=50]       tier's significance
 //	GET /stats                                serving counters + ratio
 //	GET /healthz                              liveness
 //
@@ -46,6 +55,7 @@ import (
 
 	"repro/internal/harness"
 	"repro/sig/serve"
+	"repro/sig/shard"
 )
 
 // tiers maps user tiers onto significances: gold is the special 1.0
@@ -68,6 +78,9 @@ func main() {
 		queue      = flag.Int("queue", serve.DefaultQueueLimit, "admission queue limit")
 		minRatio   = flag.Float64("minratio", 0, "quality contract: lowest accuracy ratio")
 		targetLoad = flag.Float64("target-load", serve.DefaultTargetLoad, "admission controller load cap")
+		deadline   = flag.Duration("deadline", 0, "default per-request deadline (0 = none)")
+		autoscale  = flag.Bool("autoscale", false, "autoscale the shard fleet with load (needs -shards >= 2)")
+		maxShards  = flag.Int("max-shards", 0, "autoscale ceiling (0 = 2x -shards)")
 	)
 	flag.Parse()
 
@@ -76,14 +89,18 @@ func main() {
 		fmt.Fprintln(os.Stderr, "sigserve:", err)
 		os.Exit(2)
 	}
-	srv, err := serve.New(serve.Config{
+	cfg := serve.Config{
 		Workers:    *workers,
 		Shards:     *shards,
 		QueueLimit: *queue,
 		WavePeriod: *period,
 		MinRatio:   *minRatio,
 		TargetLoad: *targetLoad,
-	})
+	}
+	if *autoscale {
+		cfg.AutoScale = &shard.AutoscalerConfig{MaxShards: *maxShards}
+	}
+	srv, err := serve.New(cfg)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "sigserve:", err)
 		os.Exit(2)
@@ -101,8 +118,22 @@ func main() {
 			req.Significance = sig
 		}
 		start := time.Now()
+		if d, ok, err := requestDeadline(r, *deadline, start); err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		} else if ok {
+			req.Deadline = d
+		}
 		tk, err := srv.Submit(req)
+		var oe *serve.OverloadError
 		switch {
+		case errors.Is(err, serve.ErrDeadlineExpired):
+			http.Error(w, "deadline expired before admission", http.StatusGatewayTimeout)
+			return
+		case errors.As(err, &oe):
+			w.Header().Set("Retry-After", retryAfterSeconds(oe.RetryAfter))
+			http.Error(w, "overloaded: admission queue full", http.StatusServiceUnavailable)
+			return
 		case errors.Is(err, serve.ErrQueueFull):
 			http.Error(w, "overloaded: admission queue full", http.StatusServiceUnavailable)
 			return
@@ -120,6 +151,10 @@ func main() {
 			http.Error(w, "client gave up", http.StatusRequestTimeout)
 			return
 		}
+		if tk.Outcome() == serve.OutcomeTimedOut {
+			http.Error(w, "deadline expired in queue", http.StatusGatewayTimeout)
+			return
+		}
 		writeJSON(w, map[string]any{
 			"outcome":       tk.Outcome().String(),
 			"significance":  req.Significance,
@@ -130,19 +165,25 @@ func main() {
 	})
 	mux.HandleFunc("/stats", func(w http.ResponseWriter, r *http.Request) {
 		tot := srv.Totals()
+		live := 1
+		if fleet := srv.Fleet(); fleet != nil {
+			live = fleet.Live()
+		}
 		writeJSON(w, map[string]any{
-			"backend":   backend.Name,
-			"shards":    max(*shards, 1),
-			"ratio":     srv.Ratio(),
-			"depth":     srv.Depth(),
-			"waves":     tot.Waves,
-			"submitted": tot.Submitted,
-			"rejected":  tot.Rejected,
-			"completed": tot.Completed,
-			"accurate":  tot.Accurate,
-			"degraded":  tot.Degraded,
-			"dropped":   tot.Dropped,
-			"joules":    tot.Joules,
+			"backend":     backend.Name,
+			"shards":      max(*shards, 1),
+			"live_shards": live,
+			"ratio":       srv.Ratio(),
+			"depth":       srv.Depth(),
+			"waves":       tot.Waves,
+			"submitted":   tot.Submitted,
+			"rejected":    tot.Rejected,
+			"completed":   tot.Completed,
+			"accurate":    tot.Accurate,
+			"degraded":    tot.Degraded,
+			"dropped":     tot.Dropped,
+			"timedout":    tot.TimedOut,
+			"joules":      tot.Joules,
 		})
 	})
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
@@ -191,6 +232,33 @@ func requestSignificance(r *http.Request) (sig float64, ok bool, err error) {
 		return s, true, nil
 	}
 	return 0, false, nil
+}
+
+// requestDeadline resolves the request's deadline: ?deadline_ms=N wins,
+// otherwise the server-wide -deadline default applies; ok is false when
+// neither is set.
+func requestDeadline(r *http.Request, def time.Duration, now time.Time) (time.Time, bool, error) {
+	if raw := r.URL.Query().Get("deadline_ms"); raw != "" {
+		ms, err := strconv.ParseFloat(raw, 64)
+		if err != nil || ms <= 0 {
+			return time.Time{}, false, fmt.Errorf("deadline_ms must be a positive number, got %q", raw)
+		}
+		return now.Add(time.Duration(ms * float64(time.Millisecond))), true, nil
+	}
+	if def > 0 {
+		return now.Add(def), true, nil
+	}
+	return time.Time{}, false, nil
+}
+
+// retryAfterSeconds renders a backoff hint as the integral seconds the
+// Retry-After header requires, rounding sub-second hints up to 1.
+func retryAfterSeconds(d time.Duration) string {
+	secs := int64((d + time.Second - 1) / time.Second)
+	if secs < 1 {
+		secs = 1
+	}
+	return strconv.FormatInt(secs, 10)
 }
 
 func writeJSON(w http.ResponseWriter, v any) {

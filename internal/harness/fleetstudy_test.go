@@ -1,0 +1,83 @@
+package harness
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestFleetStudyGates is the elastic-fleet acceptance gate: rolling
+// replacement loses nothing and keeps the energy account bit-exact, and
+// the autoscaler's step response is bounded and oscillation-free.
+func TestFleetStudyGates(t *testing.T) {
+	res, err := FleetStudy(FleetStudyConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	a := res.Replace
+	if a.Replaced != a.Shards {
+		t.Errorf("replaced %d shards, want all %d", a.Replaced, a.Shards)
+	}
+	if a.Lost != 0 {
+		t.Errorf("rolling replace lost %d of %d requests", a.Lost, a.Submitted)
+	}
+	if a.DegradedWaves != 0 {
+		t.Errorf("%d waves ran below nominal capacity; surge-then-drain should keep it at 0", a.DegradedWaves)
+	}
+	if !a.JoulesBitIdentical {
+		t.Errorf("merged energy %.9g != golden %.9g (bit-exactness broken by replacement)",
+			a.MergedJoules, a.GoldenJoules)
+	}
+
+	b := res.Scale
+	if b.WavesToScaleUp < 0 || b.WavesToScaleUp > 12 {
+		t.Errorf("scale-up to max took %d waves, want within 12", b.WavesToScaleUp)
+	}
+	if b.WavesToScaleDown < 0 || b.WavesToScaleDown > 60 {
+		t.Errorf("scale-down to min took %d waves, want within 60", b.WavesToScaleDown)
+	}
+	if b.Oscillations != 0 {
+		t.Errorf("%d oscillations in the live-shard trajectory %v, want 0", b.Oscillations, b.Trajectory)
+	}
+
+	var sb strings.Builder
+	PrintFleetStudy(&sb, res)
+	out := sb.String()
+	for _, want := range []string{"rolling replace", "bit-identical", "step response", "oscillations"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("study output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestFleetStudyDeterministic: the whole study — trajectories, counters,
+// energy bits — replays identically. Both controllers are pure arithmetic
+// over declared costs; nothing may leak wall-clock into the results.
+func TestFleetStudyDeterministic(t *testing.T) {
+	cfg := FleetStudyConfig{Shards: 2, PerWave: 64, HighWaves: 12}
+	r1, err := FleetStudy(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := FleetStudy(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.Replace != r2.Replace {
+		t.Errorf("replace results differ:\n%+v\n%+v", r1.Replace, r2.Replace)
+	}
+	if len(r1.Scale.Trajectory) != len(r2.Scale.Trajectory) {
+		t.Fatalf("trajectory lengths differ: %d vs %d", len(r1.Scale.Trajectory), len(r2.Scale.Trajectory))
+	}
+	for i := range r1.Scale.Trajectory {
+		if r1.Scale.Trajectory[i] != r2.Scale.Trajectory[i] {
+			t.Fatalf("trajectories diverge at wave %d:\n%v\n%v", i, r1.Scale.Trajectory, r2.Scale.Trajectory)
+		}
+	}
+	if r1.Scale.WavesToScaleUp != r2.Scale.WavesToScaleUp ||
+		r1.Scale.WavesToScaleDown != r2.Scale.WavesToScaleDown ||
+		r1.Scale.Oscillations != r2.Scale.Oscillations ||
+		r1.Scale.Rejected != r2.Scale.Rejected {
+		t.Errorf("scale results differ:\n%+v\n%+v", r1.Scale, r2.Scale)
+	}
+}

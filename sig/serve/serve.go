@@ -110,6 +110,13 @@ type Request struct {
 	// request shed without one is skipped entirely — OutcomeDropped — and
 	// contributes zero modeled joules.
 	Degraded func()
+	// Deadline, when non-zero, bounds how long the request may wait for
+	// service. A request already past its deadline at Submit is rejected
+	// immediately with ErrDeadlineExpired; one that expires while queued is
+	// resolved at the next wave boundary with OutcomeTimedOut. Either way
+	// no handler runs and the request contributes zero modeled joules —
+	// its ticket is released like any other.
+	Deadline time.Time
 	// CostAccurate/CostDegraded declare the handlers' nominal work in
 	// cost units (~1ns, see sig.WithCost). Declared costs make admission
 	// pacing and the modeled energy account deterministic; a request
@@ -132,6 +139,9 @@ const (
 	OutcomeDegraded
 	// OutcomeDropped: the request was shed without running any body.
 	OutcomeDropped
+	// OutcomeTimedOut: the request's Deadline expired while it was queued;
+	// no body ran and zero joules were charged.
+	OutcomeTimedOut
 )
 
 func (o Outcome) String() string {
@@ -142,6 +152,8 @@ func (o Outcome) String() string {
 		return "degraded"
 	case OutcomeDropped:
 		return "dropped"
+	case OutcomeTimedOut:
+		return "timed-out"
 	}
 	return fmt.Sprintf("Outcome(%d)", int(o))
 }
@@ -150,11 +162,30 @@ func (o Outcome) String() string {
 var (
 	// ErrQueueFull: the admission queue is at QueueLimit — the request is
 	// shed. Under the admission controller this only happens once quality
-	// degradation alone can no longer absorb the offered load.
+	// degradation alone can no longer absorb the offered load. The returned
+	// error is an *OverloadError wrapping this sentinel, carrying a
+	// retry-after backoff hint.
 	ErrQueueFull = errors.New("serve: admission queue full")
+	// ErrDeadlineExpired: the request's Deadline had already passed at
+	// Submit — it is rejected without queueing (and counted as timed out).
+	ErrDeadlineExpired = errors.New("serve: request deadline expired")
 	// ErrClosed: the server is shutting down.
 	ErrClosed = errors.New("serve: server closed")
 )
+
+// OverloadError is the queue-full rejection: it wraps ErrQueueFull (so
+// errors.Is(err, ErrQueueFull) keeps working) and carries a backoff hint —
+// the modeled time to drain the current backlog at the current ratio and
+// wave budget. Clients can surface it directly as a Retry-After header.
+type OverloadError struct {
+	RetryAfter time.Duration
+}
+
+func (e *OverloadError) Error() string {
+	return fmt.Sprintf("serve: admission queue full (retry after %v)", e.RetryAfter)
+}
+
+func (e *OverloadError) Unwrap() error { return ErrQueueFull }
 
 // Config parameterizes a Server. Zero fields take defaults.
 type Config struct {
@@ -201,6 +232,14 @@ type Config struct {
 	// DefaultCost is the admission pacing estimate for requests without
 	// declared costs (default DefaultRequestCost).
 	DefaultCost float64
+	// AutoScale, when non-nil, runs a shard.Autoscaler over the serving
+	// fleet: each wave boundary feeds the admission controller's load
+	// signal to the scaler, which grows or shrinks the live shard count
+	// between its Min/MaxShards bounds (with hysteresis and cooldown). The
+	// wave budget scales with the live fleet — capacity follows the
+	// shards. Requires Shards ≥ 2; AutoScale.MaxShards (default 2×Shards)
+	// sets the router's slot capacity.
+	AutoScale *shard.AutoscalerConfig
 }
 
 func (c Config) withDefaults(workers int) Config {
@@ -250,11 +289,17 @@ type WaveReport struct {
 	// Wave is the wave index.
 	Wave int
 	// Admitted is how many requests the wave served; Accurate, Degraded
-	// and Dropped split them by outcome.
+	// and Dropped split them by outcome. TimedOut counts queued requests
+	// whose deadline expired before this wave could admit them — resolved
+	// without running, on top of Admitted.
 	Admitted int
 	Accurate int
 	Degraded int
 	Dropped  int
+	TimedOut int
+	// LiveShards is the live fleet size after this wave's autoscaling
+	// decision (1 in solo mode, the shard count when not autoscaled).
+	LiveShards int
 	// Depth is the admission-queue depth after the wave's admissions.
 	Depth int
 	// Ratio ran the wave; NextRatio is what the admission controller
@@ -280,8 +325,12 @@ type Totals struct {
 	Accurate  int64
 	Degraded  int64
 	Dropped   int64
-	Waves     int64
-	Joules    float64
+	// TimedOut counts deadline expiries: requests rejected already-expired
+	// at Submit plus queued requests resolved OutcomeTimedOut. The former
+	// are also counted in Rejected, the latter in Completed.
+	TimedOut int64
+	Waves    int64
+	Joules   float64
 }
 
 // Server admits requests as significance-annotated task waves over a sig
@@ -293,6 +342,14 @@ type Server struct {
 	eng engine
 	ctl *adapt.Controller
 
+	// fleet is the shard router behind a sharded engine (nil for solo);
+	// scaler, when configured, elasticizes it. budgetPerShard is the
+	// per-live-shard share of the configured WaveBudget the dynamic budget
+	// is rebuilt from after every scaling action.
+	fleet          *shard.Router
+	scaler         *shard.Autoscaler
+	budgetPerShard float64
+
 	// waveMu serializes RunWave with itself and with Close's final drain,
 	// so shutdown can never tear the engine down under an in-flight wave
 	// (which would panic the wave's batch submit and strand its tickets).
@@ -303,6 +360,7 @@ type Server struct {
 	queue    []*pending
 	qCost    costSums // declared costs of the queued backlog
 	arrCost  costSums // declared costs of arrivals since the last wave
+	budget   float64  // current wave budget (WaveBudget, rescaled by autoscaling)
 	closed   bool
 	lastLoad float64
 
@@ -311,6 +369,7 @@ type Server struct {
 	// with a partially filled slab this wave, and the wave's submitted slabs
 	// awaiting recycle.
 	wavePending []*pending
+	waveExpired []*pending // deadline-expired requests skimmed by admit
 	classes     map[classKey]*classState
 	openClasses []*classState
 	waveSlabs   []*waveSlab
@@ -325,6 +384,7 @@ type Server struct {
 	tot  struct {
 		submitted, rejected, completed atomic.Int64
 		accurate, degraded, dropped    atomic.Int64
+		timedout                       atomic.Int64
 		joules                         atomic.Uint64 // math.Float64bits
 	}
 
@@ -344,6 +404,9 @@ func New(cfg Config) (*Server, error) {
 	if cfg.MinRatio < 0 || cfg.MinRatio > 1 {
 		return nil, fmt.Errorf("serve: MinRatio %v outside [0,1]", cfg.MinRatio)
 	}
+	if cfg.AutoScale != nil && cfg.Shards < 2 {
+		return nil, fmt.Errorf("serve: AutoScale requires Shards >= 2 (got %d)", cfg.Shards)
+	}
 	workers := cfg.Workers
 	if workers == 0 {
 		workers = runtime.GOMAXPROCS(0)
@@ -357,6 +420,8 @@ func New(cfg Config) (*Server, error) {
 	}
 
 	s := &Server{cfg: cfg, closeDone: make(chan struct{})}
+	s.budget = cfg.WaveBudget
+	s.budgetPerShard = cfg.WaveBudget / float64(max(cfg.Shards, 1))
 	var err error
 	s.ctl, err = adapt.New(adapt.Config{
 		Group:     cfg.Group,
@@ -371,15 +436,35 @@ func New(cfg Config) (*Server, error) {
 		return nil, err
 	}
 	if cfg.Shards > 1 {
+		slots := cfg.Shards
+		if cfg.AutoScale != nil {
+			if slots = cfg.AutoScale.MaxShards; slots == 0 {
+				slots = 2 * cfg.Shards
+			}
+			if slots < cfg.Shards {
+				return nil, fmt.Errorf("serve: AutoScale.MaxShards %d below Shards %d", slots, cfg.Shards)
+			}
+		}
 		r, err := shard.New(shard.Config{
-			Shards:  cfg.Shards,
-			Runtime: sig.Config{Workers: cfg.Workers, Policy: cfg.Policy},
-			OnWave:  func(g *shard.Group, ws sig.WaveStats) { s.ctl.Observe(g, ws) },
+			Shards:    cfg.Shards,
+			MaxShards: slots,
+			Runtime:   sig.Config{Workers: cfg.Workers, Policy: cfg.Policy},
+			OnWave:    func(g *shard.Group, ws sig.WaveStats) { s.ctl.Observe(g, ws) },
 		})
 		if err != nil {
 			return nil, err
 		}
+		s.fleet = r
 		s.eng = shardEngine{r: r, grp: r.Group(cfg.Group, 1.0)} // start at full quality
+		if cfg.AutoScale != nil {
+			ac := *cfg.AutoScale
+			ac.MaxShards = slots
+			s.scaler, err = shard.NewAutoscaler(r, ac)
+			if err != nil {
+				r.Close()
+				return nil, err
+			}
+		}
 	} else {
 		rt, err := sig.New(sig.Config{
 			Workers:  cfg.Workers,
@@ -413,10 +498,16 @@ func (s *Server) Totals() Totals {
 		Accurate:  s.tot.accurate.Load(),
 		Degraded:  s.tot.degraded.Load(),
 		Dropped:   s.tot.dropped.Load(),
+		TimedOut:  s.tot.timedout.Load(),
 		Waves:     s.wave.Load(),
 		Joules:    math.Float64frombits(s.tot.joules.Load()),
 	}
 }
+
+// Fleet returns the shard router behind a sharded server (nil in solo
+// mode), for fleet-health introspection — live/routable counts, per-shard
+// health states, manual quarantine.
+func (s *Server) Fleet() *shard.Router { return s.fleet }
 
 // reqCosts returns the request's declared cost sums, substituting the
 // pacing default for undeclared accurate costs. Requests without a Degraded
@@ -450,8 +541,18 @@ func (s *Server) Submit(req Request) (*Ticket, error) {
 	if req.CostAccurate > 0 && req.Degraded != nil && req.CostDegraded == 0 {
 		return nil, fmt.Errorf("serve: request declares CostAccurate but not the Degraded handler's cost")
 	}
+	now := time.Now()
+	if !req.Deadline.IsZero() && now.After(req.Deadline) {
+		// Already expired: reject before a ticket or queue slot is touched.
+		// The request is accounted (submitted, rejected, timed out) but
+		// models zero joules — no handler ever runs.
+		s.tot.submitted.Add(1)
+		s.tot.rejected.Add(1)
+		s.tot.timedout.Add(1)
+		return nil, ErrDeadlineExpired
+	}
 	s.tot.submitted.Add(1)
-	tk := getTicket(time.Now().UnixNano())
+	tk := getTicket(now.UnixNano())
 	p := getPending()
 	p.req = req
 	p.tk = tk
@@ -464,11 +565,21 @@ func (s *Server) Submit(req Request) (*Ticket, error) {
 		return nil, ErrClosed
 	}
 	if len(s.queue) >= s.cfg.QueueLimit {
+		// Price the backoff hint while the lock still pins the backlog: the
+		// modeled waves to drain the queue at the current ratio and budget.
+		backlog, budget := s.qCost, s.budget
 		s.mu.Unlock()
 		s.tot.rejected.Add(1)
 		putPending(p)
 		discardTicket(tk)
-		return nil, ErrQueueFull
+		waves := 1.0
+		if budget > 0 {
+			waves = math.Ceil(backlog.at(s.eng.Ratio()) / budget)
+			if waves < 1 {
+				waves = 1
+			}
+		}
+		return nil, &OverloadError{RetryAfter: time.Duration(waves) * s.cfg.WavePeriod}
 	}
 	tk.enqWave.Store(s.wave.Load())
 	c := s.reqCosts(&req)
@@ -488,11 +599,11 @@ func (s *Server) Submit(req Request) (*Ticket, error) {
 // adapt.TargetLoad converge in a handful of waves.
 func (s *Server) measure(ws sig.WaveStats) float64 {
 	s.mu.Lock()
-	arr, backlog := s.arrCost, s.qCost
+	arr, backlog, budget := s.arrCost, s.qCost, s.budget
 	s.arrCost = costSums{} // next wave accounts fresh arrivals only
 	s.mu.Unlock()
 	r := ws.RequestedRatio
-	load := (arr.at(r) + s.cfg.DrainGain*backlog.at(r)) / s.cfg.WaveBudget
+	load := (arr.at(r) + s.cfg.DrainGain*backlog.at(r)) / budget
 	if s.cfg.EnergyBudget > 0 {
 		load = math.Max(load, ws.Joules/s.cfg.EnergyBudget)
 	}
@@ -503,22 +614,33 @@ func (s *Server) measure(ws sig.WaveStats) float64 {
 }
 
 // admit pops the next wave's worth of requests: FIFO, while the expected
-// modeled cost at the current ratio fits WaveBudget (always at least one
-// when the queue is non-empty, so a single oversized request cannot wedge
-// the queue). The returned batch is the server's reused wavePending buffer
-// (valid until the next admit); the remainder compacts to the front of the
-// queue's backing array, so steady-state waves neither grow nor churn it.
+// modeled cost at the current ratio fits the wave budget (always at least
+// one when the queue is non-empty, so a single oversized request cannot
+// wedge the queue). Requests whose Deadline expired while queued are
+// skimmed into the waveExpired buffer instead — they consume no budget and
+// RunWave resolves them OutcomeTimedOut. The returned batch is the server's
+// reused wavePending buffer (valid until the next admit); the remainder
+// compacts to the front of the queue's backing array, so steady-state waves
+// neither grow nor churn it.
 func (s *Server) admit() []*pending {
+	now := time.Now()
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	ratio := s.eng.Ratio()
 	batch := s.wavePending[:0]
+	s.waveExpired = s.waveExpired[:0]
 	var cost float64
 	n := 0
 	for n < len(s.queue) {
 		p := s.queue[n]
 		c := s.reqCosts(&p.req)
-		if n > 0 && cost+c.at(ratio) > s.cfg.WaveBudget {
+		if !p.req.Deadline.IsZero() && now.After(p.req.Deadline) {
+			s.waveExpired = append(s.waveExpired, p)
+			s.qCost.sub(c)
+			n++
+			continue
+		}
+		if len(batch) > 0 && cost+c.at(ratio) > s.budget {
 			break
 		}
 		batch = append(batch, p)
@@ -566,6 +688,19 @@ func (s *Server) RunWave() WaveReport {
 	ws := s.eng.WaitPhase() // admission controller observes here
 	wave := s.wave.Add(1) - 1
 	nowNs := time.Now().UnixNano()
+	// Resolve the deadline casualties admit skimmed: outcome, completion
+	// edge, ticket release — everything a served request gets, except a
+	// body run or a joule.
+	for i, p := range s.waveExpired {
+		tk := p.tk
+		tk.outcome.Store(int32(OutcomeTimedOut))
+		tk.complete(wave, nowNs)
+		tk.release()
+		putPending(p)
+		s.waveExpired[i] = nil
+		rep.TimedOut++
+	}
+	s.waveExpired = s.waveExpired[:0]
 	for i, p := range batch {
 		tk := p.tk
 		tk.complete(wave, nowNs)
@@ -584,10 +719,11 @@ func (s *Server) RunWave() WaveReport {
 		batch[i] = nil
 	}
 	s.recycleSlabs()
-	s.tot.completed.Add(int64(len(batch)))
+	s.tot.completed.Add(int64(len(batch) + rep.TimedOut))
 	s.tot.accurate.Add(int64(rep.Accurate))
 	s.tot.degraded.Add(int64(rep.Degraded))
 	s.tot.dropped.Add(int64(rep.Dropped))
+	s.tot.timedout.Add(int64(rep.TimedOut))
 	for {
 		old := s.tot.joules.Load()
 		if s.tot.joules.CompareAndSwap(old, math.Float64bits(math.Float64frombits(old)+ws.Joules)) {
@@ -599,6 +735,20 @@ func (s *Server) RunWave() WaveReport {
 	rep.Depth = len(s.queue)
 	rep.Load = s.lastLoad
 	s.mu.Unlock()
+	rep.LiveShards = 1
+	if s.fleet != nil {
+		if s.scaler != nil {
+			// The scaler sees the same load signal the admission controller
+			// just regulated; a drain here runs against an idle fleet (the
+			// wave's taskwait completed above). Capacity follows the fleet:
+			// the wave budget is rebuilt from the live shard count.
+			s.scaler.Observe(rep.Load)
+			s.mu.Lock()
+			s.budget = s.budgetPerShard * float64(s.fleet.Live())
+			s.mu.Unlock()
+		}
+		rep.LiveShards = s.fleet.Live()
+	}
 	rep.NextRatio = s.eng.Ratio()
 	rep.Provided = ws.ProvidedRatio
 	rep.Joules = ws.Joules

@@ -1,0 +1,383 @@
+package shard
+
+import (
+	"errors"
+	"math"
+	"sync/atomic"
+	"testing"
+
+	"repro/sig"
+)
+
+// Elastic-fleet unit suite: sentinel errors, runtime rejoin (AddShard),
+// the health state machine's explicit transitions, and the autoscaler's
+// step response on scripted load traces. The chaos package carries the
+// end-to-end proofs; these tests pin the per-call contracts.
+
+func newElasticRouter(t *testing.T, shards, slots int) *Router {
+	t.Helper()
+	r, err := New(Config{
+		Shards:    shards,
+		MaxShards: slots,
+		Runtime:   sig.Config{Workers: 1, Policy: sig.PolicyGTBMaxBuffer},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { r.Close() })
+	return r
+}
+
+// TestShardSentinelErrors pins every refusal to its typed sentinel so
+// callers can program against errors.Is instead of string matching.
+func TestShardSentinelErrors(t *testing.T) {
+	r := newElasticRouter(t, 2, 3)
+
+	if err := r.DrainShard(5); err == nil || errors.Is(err, ErrShardDown) {
+		t.Fatalf("out-of-range drain: got %v, want a range error", err)
+	}
+	if err := r.QuarantineShard(2); !errors.Is(err, ErrShardDown) {
+		t.Fatalf("quarantining the empty slot: got %v, want ErrShardDown", err)
+	}
+	if err := r.ReviveShard(2); !errors.Is(err, ErrShardDown) {
+		t.Fatalf("reviving the empty slot: got %v, want ErrShardDown", err)
+	}
+
+	// Draining down to one shard is fine; the last routable one is not.
+	if err := r.DrainShard(1); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.DrainShard(0); !errors.Is(err, ErrLastShard) {
+		t.Fatalf("draining the last shard: got %v, want ErrLastShard", err)
+	}
+	if err := r.QuarantineShard(0); !errors.Is(err, ErrLastShard) {
+		t.Fatalf("quarantining the last shard: got %v, want ErrLastShard", err)
+	}
+	// Idempotent drain of an already-down shard.
+	if err := r.DrainShard(1); err != nil {
+		t.Fatalf("re-draining a down shard: got %v, want nil", err)
+	}
+
+	// Fill both free slots; the next AddShard must refuse.
+	for i := 0; i < 2; i++ {
+		if _, err := r.AddShard(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := r.AddShard(); !errors.Is(err, ErrFleetFull) {
+		t.Fatalf("AddShard at capacity: got %v, want ErrFleetFull", err)
+	}
+
+	if err := r.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.DrainShard(0); !errors.Is(err, ErrRouterClosed) {
+		t.Fatalf("drain after Close: got %v, want ErrRouterClosed", err)
+	}
+	if _, err := r.AddShard(); !errors.Is(err, ErrRouterClosed) {
+		t.Fatalf("AddShard after Close: got %v, want ErrRouterClosed", err)
+	}
+	if err := r.QuarantineShard(0); !errors.Is(err, ErrRouterClosed) {
+		t.Fatalf("quarantine after Close: got %v, want ErrRouterClosed", err)
+	}
+	if err := r.ReviveShard(0); !errors.Is(err, ErrRouterClosed) {
+		t.Fatalf("revive after Close: got %v, want ErrRouterClosed", err)
+	}
+}
+
+// TestAddShardRejoinPreservesEnergy is the rejoin half of the energy
+// additivity contract: drain a shard mid-run, rejoin the slot, finish the
+// stream — the merged joules must stay bit-identical to the single-runtime
+// golden, because retirement moves the drained incarnation's busy
+// nanoseconds into an exact integer account and the joining shard starts
+// with a zero busy clock.
+func TestAddShardRejoinPreservesEnergy(t *testing.T) {
+	const n, cost = 300, 12_345.0
+	stream := func() []sig.TaskSpec {
+		specs := make([]sig.TaskSpec, n)
+		for i := range specs {
+			specs[i] = sig.TaskSpec{Fn: func() {}, HasCost: true, CostAccurate: cost}
+		}
+		return specs
+	}
+
+	rt, err := sig.New(sig.Config{Workers: 2, Policy: sig.PolicyAccurate})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt.SubmitBatch(nil, stream())
+	rt.SubmitBatch(nil, stream())
+	rt.Wait(nil)
+	rt.Close()
+	golden := rt.Energy()
+
+	r, err := New(Config{
+		Shards:  3,
+		Runtime: sig.Config{Workers: 2, Policy: sig.PolicyAccurate},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := r.Group("rejoin", 1.0)
+	r.SubmitBatch(g, stream())
+	r.Wait(g)
+
+	if err := r.DrainShard(1); err != nil {
+		t.Fatal(err)
+	}
+	slot, err := r.AddShard()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if slot != 1 {
+		t.Fatalf("rejoin took slot %d, want the drained slot 1", slot)
+	}
+	if got := r.ShardEnergy()[1].Busy; got != 0 {
+		t.Fatalf("rejoined shard born with busy clock %v, want 0", got)
+	}
+
+	r.SubmitBatch(g, stream())
+	r.Wait(g)
+	r.Close()
+
+	rep := r.Energy()
+	if rep.Busy != golden.Busy {
+		t.Fatalf("merged busy %v != golden %v across drain+rejoin", rep.Busy, golden.Busy)
+	}
+	if math.Float64bits(rep.Joules) != math.Float64bits(golden.Joules) {
+		t.Fatalf("merged joules %v not bit-identical to golden %v across drain+rejoin",
+			rep.Joules, golden.Joules)
+	}
+	gs := g.Stats()
+	if gs.Submitted != 2*n || gs.Accurate != 2*n {
+		t.Fatalf("conservation across rejoin: %+v, want %d submitted and accurate", gs, 2*n)
+	}
+}
+
+// TestAddShardReseedsPlacement: a rejoined shard starts with zero load
+// state, so least-load placement immediately favors it.
+func TestAddShardReseedsPlacement(t *testing.T) {
+	r, err := New(Config{
+		Shards:    2,
+		Placement: PlaceLeastLoad,
+		Runtime:   sig.Config{Workers: 1, Policy: sig.PolicyAccurate},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	g := r.Group("seed", 1.0)
+
+	heavy := make([]sig.TaskSpec, 40)
+	for i := range heavy {
+		heavy[i] = sig.TaskSpec{Fn: func() {}, HasCost: true, CostAccurate: 1000}
+	}
+	// No wave boundary yet: the placement load stays outstanding on shard 0
+	// while shard 1 is replaced, so the contrast is visible.
+	r.SubmitBatch(g, heavy)
+
+	if err := r.DrainShard(1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.AddShard(); err != nil {
+		t.Fatal(err)
+	}
+	if got := r.state[1].load.Load(); got != 0 {
+		t.Fatalf("rejoined shard load %d, want 0", got)
+	}
+	// The fresh shard owes nothing, so the next placement must pick it.
+	var onFresh atomic.Int64
+	r.Submit(g, sig.TaskSpec{Fn: func() { onFresh.Add(1) }, HasCost: true, CostAccurate: 1000})
+	r.Wait(g)
+	if ps := g.Part(1).Stats(); ps.Submitted != 1 {
+		t.Fatalf("least-load ignored the fresh shard: part stats %+v", ps)
+	}
+	if onFresh.Load() != 1 {
+		t.Fatal("instrumented task did not run")
+	}
+	if gs := g.Stats(); gs.Submitted != 41 {
+		t.Fatalf("conservation across replace: %d submitted, want 41", gs.Submitted)
+	}
+}
+
+// TestQuarantineExplicitLifecycle pins the state machine's manual arcs:
+// quarantine pulls a shard out of placement while keeping it live, revive
+// readmits it, and health states read back correctly at each step.
+func TestQuarantineExplicitLifecycle(t *testing.T) {
+	r := newElasticRouter(t, 3, 3)
+	if got := r.HealthStates(); len(got) != 3 || got[0] != HealthLive {
+		t.Fatalf("initial health states %v, want all live", got)
+	}
+	if err := r.QuarantineShard(1); err != nil {
+		t.Fatal(err)
+	}
+	if got := r.Health(1); got != HealthQuarantined {
+		t.Fatalf("health after quarantine %v", got)
+	}
+	if r.Live() != 3 || r.Routable() != 2 {
+		t.Fatalf("quarantined shard should stay live: live %d routable %d", r.Live(), r.Routable())
+	}
+	// Quarantine is idempotent and sticky: healthy waves don't lift it.
+	if err := r.QuarantineShard(1); err != nil {
+		t.Fatal(err)
+	}
+	g := r.Group("q", 1.0)
+	for i := 0; i < 8; i++ {
+		r.Submit(g, sig.TaskSpec{Fn: func() {}, HasCost: true, CostAccurate: 10})
+	}
+	r.Wait(g)
+	if got := r.Health(1); got != HealthQuarantined {
+		t.Fatalf("healthy wave lifted quarantine: %v", got)
+	}
+	if ps := g.Part(1).Stats(); ps.Submitted != 0 {
+		t.Fatalf("quarantined shard received %d tasks", ps.Submitted)
+	}
+	if err := r.ReviveShard(1); err != nil {
+		t.Fatal(err)
+	}
+	if got := r.Health(1); got != HealthLive {
+		t.Fatalf("health after revive %v", got)
+	}
+	if r.Routable() != 3 {
+		t.Fatalf("routable after revive %d, want 3", r.Routable())
+	}
+	if got := r.Health(2); got != HealthLive || r.Strikes(2) != 0 {
+		t.Fatalf("bystander shard disturbed: health %v strikes %d", got, r.Strikes(2))
+	}
+}
+
+// TestHealthStateStrings covers the diagnostic formatting.
+func TestHealthStateStrings(t *testing.T) {
+	want := map[HealthState]string{
+		HealthLive: "live", HealthSuspect: "suspect",
+		HealthQuarantined: "quarantined", HealthDrained: "drained",
+		HealthState(99): "HealthState(99)",
+	}
+	for st, s := range want {
+		if st.String() != s {
+			t.Errorf("HealthState(%d).String() = %q, want %q", st, st.String(), s)
+		}
+	}
+}
+
+// TestAutoscalerStepResponse replays a scripted load trace through the
+// scaler and checks the full step response: scale-up after UpAfter
+// high-load waves, cooldown suppression, scale-down after DownAfter
+// low-load waves, Min/Max clamps, and no oscillation on steady load.
+func TestAutoscalerStepResponse(t *testing.T) {
+	r := newElasticRouter(t, 2, 4)
+	a, err := NewAutoscaler(r, AutoscalerConfig{
+		MinShards: 1, MaxShards: 4,
+		UpAt: 1.2, DownAt: 0.4,
+		UpAfter: 2, DownAfter: 3, Cooldown: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Steady in-band load: nothing happens.
+	for i := 0; i < 10; i++ {
+		if d := a.Observe(1.0); d != 0 {
+			t.Fatalf("in-band wave %d acted with %+d", i, d)
+		}
+	}
+
+	// Step up: first high wave arms, second fires.
+	if d := a.Observe(2.0); d != 0 {
+		t.Fatal("scaled up before UpAfter")
+	}
+	if d := a.Observe(2.0); d != +1 {
+		t.Fatalf("second high wave: delta %+d, want +1", d)
+	}
+	if r.Live() != 3 {
+		t.Fatalf("live after scale-up %d, want 3", r.Live())
+	}
+	// Cooldown: two waves of silence even under sustained overload.
+	for i := 0; i < 2; i++ {
+		if d := a.Observe(2.0); d != 0 {
+			t.Fatalf("cooldown wave %d acted with %+d", i, d)
+		}
+	}
+	// Streak restarts after cooldown; two more high waves fire again.
+	a.Observe(2.0)
+	if d := a.Observe(2.0); d != +1 {
+		t.Fatal("post-cooldown overload did not scale up")
+	}
+	if r.Live() != 4 {
+		t.Fatalf("live at max %d, want 4", r.Live())
+	}
+	// At MaxShards: sustained overload never acts again.
+	for i := 0; i < 8; i++ {
+		if d := a.Observe(3.0); d != 0 {
+			t.Fatal("scaled past MaxShards")
+		}
+	}
+
+	// Step down: DownAfter low waves (after cooldown already expired).
+	downs := 0
+	for i := 0; i < 24 && r.Live() > 1; i++ {
+		if d := a.Observe(0.1); d == -1 {
+			downs++
+		} else if d != 0 {
+			t.Fatalf("low-load wave acted with %+d", d)
+		}
+	}
+	if r.Live() != 1 || downs != 3 {
+		t.Fatalf("scale-down: live %d (want 1) after %d down actions (want 3)", r.Live(), downs)
+	}
+	// At MinShards: idle load never drains the last shard.
+	for i := 0; i < 8; i++ {
+		if d := a.Observe(0.0); d != 0 {
+			t.Fatal("scaled below MinShards")
+		}
+	}
+
+	evs := a.Events()
+	if len(evs) != 5 {
+		t.Fatalf("recorded %d events, want 5 (+1,+1,-1,-1,-1): %+v", len(evs), evs)
+	}
+	for i, ev := range evs {
+		wantDelta := +1
+		if i >= 2 {
+			wantDelta = -1
+		}
+		if ev.Delta != wantDelta {
+			t.Errorf("event %d delta %+d, want %+d", i, ev.Delta, wantDelta)
+		}
+	}
+	// Scale-down victims are the highest routable slots, preserving the
+	// stable low slots' placement affinity.
+	if evs[2].Shard != 3 || evs[3].Shard != 2 || evs[4].Shard != 1 {
+		t.Errorf("scale-down victim order %d,%d,%d, want 3,2,1",
+			evs[2].Shard, evs[3].Shard, evs[4].Shard)
+	}
+}
+
+// TestAutoscalerConfigValidation pins the constructor's refusals.
+func TestAutoscalerConfigValidation(t *testing.T) {
+	r := newElasticRouter(t, 2, 3)
+	bad := []AutoscalerConfig{
+		{MinShards: -1},              // negative min
+		{MinShards: 2, MaxShards: 1}, // max below min
+		{MaxShards: 9},               // above slot capacity
+		{UpAt: 0.4, DownAt: 0.5},     // inverted thresholds
+		{UpAfter: -1},                // negative hysteresis
+		{DownAfter: -2},              // negative hysteresis
+		{MinShards: 1, MaxShards: 3, UpAt: 1, DownAt: 1}, // equal thresholds
+	}
+	for i, cfg := range bad {
+		if _, err := NewAutoscaler(r, cfg); err == nil {
+			t.Errorf("config %d (%+v) accepted, want error", i, cfg)
+		}
+	}
+	a, err := NewAutoscaler(r, AutoscalerConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := a.Config()
+	if got.MinShards != 1 || got.MaxShards != 3 || got.UpAt != DefaultScaleUpAt ||
+		got.DownAt != DefaultScaleDownAt || got.UpAfter != DefaultScaleUpAfter ||
+		got.DownAfter != DefaultScaleDownAfter || got.Cooldown != DefaultScaleCooldown {
+		t.Fatalf("defaults not applied: %+v", got)
+	}
+}

@@ -23,16 +23,21 @@ import (
 //	data[3]  requested ratio, v/255
 //	data[4]  flags: bit0 = batch submission; bit1 = every third task has
 //	         no approximate body; bit2 = 254 bytes in the stream drain a
-//	         shard; bit3 = wave boundaries retarget the ratio
+//	         shard; bit3 = wave boundaries retarget the ratio; bit4 =
+//	         elastic mode — the router gets two spare slots and each 254
+//	         byte consumes one selector byte choosing drain / rejoin /
+//	         quarantine / revive fleet surgery (overrides bit2)
 //	data[5]  workers per shard, 1 + v%3
 //	data[6:] the stream: 255 is a taskwait boundary (followed, when
 //	         retargeting, by one byte of new ratio); 254 drains the next
-//	         live shard (when enabled); any other byte v is a task of
-//	         significance v/253 — so the fuzzer can position the special
-//	         values and the chaos adversarially.
+//	         live shard (when enabled) or performs elastic surgery; any
+//	         other byte v is a task of significance v/253 — so the fuzzer
+//	         can position the special values and the chaos adversarially.
 func FuzzShardRouting(f *testing.F) {
 	// Seeds: round-robin baseline, least-load with drains, cost-affinity
-	// with retargeting, single-shard degenerate, drain-heavy chaos.
+	// with retargeting, single-shard degenerate, drain-heavy chaos,
+	// elastic surgery (drain→rejoin same index, rejoin at max fleet,
+	// quarantine/revive churn).
 	nine := []byte{3, 0, 2, 128, 0, 1}
 	for i := 0; i < 60; i++ {
 		nine = append(nine, byte(25*(i%9+1)))
@@ -43,6 +48,8 @@ func FuzzShardRouting(f *testing.F) {
 	f.Add([]byte{0, 0, 0, 255, 1, 0, 253, 1, 253, 2, 255, 3})
 	f.Add([]byte{5, 1, 3, 64, 6, 1, 254, 254, 254, 254, 254, 100, 255, 200, 254, 50})
 	f.Add([]byte{4, 2, 4, 25, 15, 2, 200, 200, 255, 230, 254, 50, 50, 255, 10, 100})
+	f.Add([]byte{2, 1, 2, 128, 16, 1, 100, 254, 0, 254, 1, 100, 255, 254, 1, 254, 1, 100})
+	f.Add([]byte{3, 2, 3, 77, 17, 2, 254, 2, 50, 254, 3, 255, 254, 0, 254, 1, 200, 253})
 
 	kinds := []sig.PolicyKind{sig.PolicyAccurate, sig.PolicyGTB, sig.PolicyGTBMaxBuffer, sig.PolicyLQH, sig.PolicyPerforation}
 	f.Fuzz(func(t *testing.T, data []byte) {
@@ -60,14 +67,20 @@ func FuzzShardRouting(f *testing.F) {
 		}
 		drains := data[4]&4 != 0
 		retargets := data[4]&8 != 0
+		elastic := data[4]&16 != 0
 		workers := 1 + int(data[5])%3
 		stream := data[6:]
 		if len(stream) > 1024 {
 			stream = stream[:1024]
 		}
 
+		maxShards := shards
+		if elastic {
+			maxShards = shards + 2
+		}
 		r, err := New(Config{
 			Shards:    shards,
+			MaxShards: maxShards,
 			Placement: placement,
 			Runtime:   sig.Config{Workers: workers, Policy: kind},
 		})
@@ -114,6 +127,54 @@ func FuzzShardRouting(f *testing.F) {
 				if retargets && pos+1 < len(stream) {
 					pos++
 					g.SetRatio(float64(stream[pos]) / 253)
+				}
+				continue
+			}
+			if v == 254 && elastic {
+				// Fleet surgery: the selector byte picks the operation.
+				// Refusals (last shard, fleet full, slot draining, shard
+				// down) are part of the guardrail contract; only accepted
+				// operations void the single-ratio floor.
+				sel := byte(0)
+				if pos+1 < len(stream) {
+					pos++
+					sel = stream[pos]
+				}
+				switch sel % 4 {
+				case 0: // drain the lowest routable shard
+					for i := 0; i < r.Shards(); i++ {
+						if r.routable(i) {
+							if err := r.DrainShard(i); err == nil {
+								drained++
+							}
+							break
+						}
+					}
+				case 1: // rejoin into the lowest free slot
+					if _, err := r.AddShard(); err == nil {
+						drained++
+					}
+				case 2: // quarantine the highest routable shard
+					for i := r.Shards() - 1; i >= 0; i-- {
+						if r.routable(i) {
+							if err := r.QuarantineShard(i); err == nil {
+								drained++
+							}
+							break
+						}
+					}
+				case 3: // revive the first quarantined shard
+					for i := 0; i < r.Shards(); i++ {
+						if r.state[i].quarantined.Load() {
+							if err := r.ReviveShard(i); err == nil {
+								drained++
+							}
+							break
+						}
+					}
+				}
+				if r.Routable() < 1 {
+					t.Fatal("surgery left no routable shard")
 				}
 				continue
 			}

@@ -162,9 +162,22 @@ func checkShardInvariants(t *testing.T, sc shardScenario, r *Router, g *Group, r
 			acc, apx, drop, gs.Accurate, gs.Approximate, gs.Dropped)
 	}
 	if r != nil && g != nil {
-		var sum sig.GroupStats
+		// Start from the retirement account (drained/replaced incarnations),
+		// then add every occupied slot; empty slots contribute zero.
+		g.retiredMu.Lock()
+		sum := sig.GroupStats{
+			Submitted:   g.retired.Submitted,
+			Accurate:    g.retired.Accurate,
+			Approximate: g.retired.Approximate,
+			Dropped:     g.retired.Dropped,
+		}
+		g.retiredMu.Unlock()
 		for i := 0; i < r.Shards(); i++ {
-			ps := g.Part(i).Stats()
+			p := g.Part(i)
+			if p == nil {
+				continue
+			}
+			ps := p.Stats()
 			sum.Submitted += ps.Submitted
 			sum.Accurate += ps.Accurate
 			sum.Approximate += ps.Approximate

@@ -17,12 +17,19 @@
 // account is bit-identical to a single runtime executing the same bodies,
 // and replays are bit-identical at any shard count.
 //
-// Shards can leave the fleet at runtime: DrainShard marks a shard
-// unroutable, waits out in-flight submissions (the same striped-counter
-// discipline sig.Runtime.Close uses), closes its runtime — which drains its
-// queued tasks — and leaves its counters and frozen energy report inside
-// every merge. Nothing is lost or double-counted; the chaos suite
-// (chaos_test.go) holds the Router to that.
+// The fleet is elastic. A Router is born with Config.Shards shards inside
+// Config.MaxShards fixed slots; DrainShard retires a shard at runtime
+// (marks it unroutable, waits out in-flight submissions, closes its runtime)
+// and AddShard rejoins a fresh runtime into a free slot. A rejoin preserves
+// the merged-energy bit-identity contract: the outgoing incarnation's frozen
+// busy nanoseconds move into an integer retirement account, the joining
+// runtime starts with a zero busy clock, and merged joules stay one
+// multiplication over an exact integer sum. Per-shard health is a small
+// state machine (live → suspect → quarantined → auto-drained, see
+// health.go) driven by a wave-latency watchdog and a pluggable HealthProbe;
+// an Autoscaler (autoscale.go) grows and shrinks the fleet between bounds
+// with hysteresis and cooldown. The chaos suite (chaos_test.go and
+// sig/chaos) holds all of it to "nothing lost, nothing double-counted".
 package shard
 
 import (
@@ -35,6 +42,24 @@ import (
 	"time"
 
 	"repro/sig"
+)
+
+// Typed sentinel errors. Fleet-surgery methods wrap them with context via
+// fmt.Errorf("...: %w", ...), so callers branch with errors.Is.
+var (
+	// ErrRouterClosed reports fleet surgery attempted after Close.
+	ErrRouterClosed = errors.New("shard: router closed")
+	// ErrLastShard reports a drain or quarantine that would leave the
+	// fleet with no routable shard.
+	ErrLastShard = errors.New("shard: last routable shard")
+	// ErrShardDown reports a health operation on a drained (or never
+	// joined) shard slot.
+	ErrShardDown = errors.New("shard: shard is down")
+	// ErrFleetFull reports AddShard with every slot occupied and routable.
+	ErrFleetFull = errors.New("shard: fleet at capacity")
+	// ErrShardDraining reports AddShard while the only free slots still
+	// have a DrainShard in flight (their reports are not frozen yet).
+	ErrShardDraining = errors.New("shard: shard still draining")
 )
 
 // PlacementKind selects how the Router maps tasks onto shards.
@@ -87,8 +112,12 @@ const (
 
 // Config parameterizes a Router.
 type Config struct {
-	// Shards is the number of sig.Runtime shards (0 means 1).
+	// Shards is the number of sig.Runtime shards started at New (0 means 1).
 	Shards int
+	// MaxShards is the fleet's slot capacity: AddShard can grow the fleet
+	// up to it, and all per-shard state is sized to it once at New so the
+	// submit hot path stays lock-free. 0 means Shards (no headroom).
+	MaxShards int
 	// Placement selects the placement policy (default PlaceRoundRobin).
 	Placement PlacementKind
 	// Runtime configures every shard identically: Workers is the
@@ -110,21 +139,74 @@ type Config struct {
 	// DefaultCost is the placement-load estimate for tasks without
 	// declared costs (default DefaultPlacementCost).
 	DefaultCost float64
+
+	// WaveTimeout, when positive, bounds how long a merged WaitPhase waits
+	// on any one shard's wave cut: a shard that overruns it is skipped in
+	// the merge (its late stats fold into a later wave when they arrive)
+	// and earns a health strike. Zero keeps the wait fully synchronous —
+	// the bit-identical replay mode.
+	WaveTimeout time.Duration
+	// HealthProbe, when non-nil, is consulted for every shard that
+	// completed a wave in time; a non-nil error is a health strike, nil
+	// clears the shard's strikes. The pluggable seam for external health
+	// signals (process checks, remote heartbeats).
+	HealthProbe func(shard int) error
+	// SuspectAfter, QuarantineAfter and DrainAfter are the consecutive
+	// strike counts at which a shard turns suspect, is quarantined
+	// (unroutable but still open), and is auto-drained. Zero fields take
+	// DefaultSuspectAfter/DefaultQuarantineAfter/DefaultDrainAfter; a
+	// negative DrainAfter disables auto-drain.
+	SuspectAfter    int
+	QuarantineAfter int
+	DrainAfter      int
 }
 
-// shardState is the Router's per-shard routing state, padded so the hot
-// submit path never false-shares between shards.
+// shardState is the Router's per-shard routing and health state, padded so
+// the hot submit path never false-shares between shards.
 type shardState struct {
 	// inflight counts router submissions that picked this shard and may
 	// not have reached its runtime yet; DrainShard flips down first and
 	// then waits for inflight to drain, mirroring sig.Runtime.Close.
 	inflight atomic.Int64
-	// down marks the shard unroutable (DrainShard).
+	// down marks the shard unroutable and its runtime closed (or never
+	// started: empty headroom slots are born down). Cleared by AddShard.
 	down atomic.Bool
+	// quarantined marks the shard unroutable while its runtime stays open
+	// (health state machine); ReviveShard clears it.
+	quarantined atomic.Bool
+	// draining is set for the duration of a DrainShard so AddShard never
+	// reuses a slot whose energy report is not frozen yet.
+	draining atomic.Bool
+	// autoDrain latches the auto-drain trigger so the watchdog spawns at
+	// most one drain per episode.
+	autoDrain atomic.Bool
 	// load is the outstanding modeled cost routed to the shard and not
 	// yet retired by a wave boundary (least-load placement).
 	load atomic.Int64
-	_    [39]byte
+	// health is the announced HealthState; strikes counts consecutive
+	// missed/failed waves (see health.go).
+	health  atomic.Int32
+	strikes atomic.Int32
+	_       [27]byte
+}
+
+// partRef pairs one shard's runtime with this group's physical group on it.
+// The pair is published atomically so a submitter or merger always sees a
+// matching (runtime, group) — never a group from one fleet incarnation with
+// the runtime of the next.
+type partRef struct {
+	rt *sig.Runtime
+	p  *sig.Group
+}
+
+// retiredEnergy is the integer energy account of shards that left the fleet
+// and whose slot was reused: exact busy nanoseconds, so merged joules stay
+// one float multiplication over an integer sum.
+type retiredEnergy struct {
+	busy    time.Duration
+	wall    time.Duration
+	workers int
+	panics  int64
 }
 
 // Router multiplexes the single-runtime surface over N shards. Create one
@@ -132,15 +214,21 @@ type shardState struct {
 // SubmitBatch, synchronize with Wait or WaitPhase, and release every shard
 // with Close.
 type Router struct {
-	cfg    Config
-	shards []*sig.Runtime
-	state  []shardState
-	watts  float64
+	cfg      Config
+	shards   []atomic.Pointer[sig.Runtime] // slot-indexed; nil = empty slot
+	state    []shardState
+	watts    float64
+	idle     float64
+	healthOn bool
 
-	mu     sync.Mutex // guards groups/order/closed; never on the submit path
-	groups map[string]*Group
-	order  []*Group
-	closed bool
+	// mu guards groups/order/closed and serializes fleet surgery
+	// (AddShard/DrainShard/quarantine) with the cold read paths
+	// (Energy/Stats); never on the submit path.
+	mu      sync.Mutex
+	groups  map[string]*Group
+	order   []*Group
+	closed  bool
+	retired retiredEnergy
 
 	def atomic.Pointer[Group] // cached default group, off r.mu on submit
 	rr  atomic.Uint64         // round-robin cursor
@@ -153,6 +241,12 @@ func New(cfg Config) (*Router, error) {
 	}
 	if cfg.Shards == 0 {
 		cfg.Shards = 1
+	}
+	if cfg.MaxShards == 0 {
+		cfg.MaxShards = cfg.Shards
+	}
+	if cfg.MaxShards < cfg.Shards {
+		return nil, fmt.Errorf("shard: MaxShards %d below Shards %d", cfg.MaxShards, cfg.Shards)
 	}
 	if !cfg.Placement.valid() {
 		return nil, fmt.Errorf("shard: unknown placement kind %d", cfg.Placement)
@@ -169,48 +263,73 @@ func New(cfg Config) (*Router, error) {
 	if cfg.DefaultCost <= 0 {
 		cfg.DefaultCost = DefaultPlacementCost
 	}
-	r := &Router{
-		cfg:    cfg,
-		shards: make([]*sig.Runtime, cfg.Shards),
-		state:  make([]shardState, cfg.Shards),
-		groups: make(map[string]*Group),
+	if cfg.WaveTimeout < 0 {
+		return nil, fmt.Errorf("shard: negative WaveTimeout %v", cfg.WaveTimeout)
 	}
-	for i := range r.shards {
+	if cfg.SuspectAfter == 0 {
+		cfg.SuspectAfter = DefaultSuspectAfter
+	}
+	if cfg.QuarantineAfter == 0 {
+		cfg.QuarantineAfter = DefaultQuarantineAfter
+	}
+	if cfg.DrainAfter == 0 {
+		cfg.DrainAfter = DefaultDrainAfter
+	}
+	if cfg.SuspectAfter < 0 || cfg.QuarantineAfter < 0 {
+		return nil, fmt.Errorf("shard: negative health threshold")
+	}
+	r := &Router{
+		cfg:      cfg,
+		shards:   make([]atomic.Pointer[sig.Runtime], cfg.MaxShards),
+		state:    make([]shardState, cfg.MaxShards),
+		groups:   make(map[string]*Group),
+		healthOn: cfg.WaveTimeout > 0 || cfg.HealthProbe != nil,
+	}
+	for i := 0; i < cfg.Shards; i++ {
 		rt, err := sig.New(cfg.Runtime)
 		if err != nil {
-			for _, prev := range r.shards[:i] {
-				prev.Close()
+			for j := 0; j < i; j++ {
+				r.shards[j].Load().Close()
 			}
 			return nil, err
 		}
-		r.shards[i] = rt
+		r.shards[i].Store(rt)
 	}
-	r.watts = r.shards[0].Energy().ActiveWatts
+	// Headroom slots are born down (empty) until an AddShard fills them.
+	for i := cfg.Shards; i < cfg.MaxShards; i++ {
+		r.state[i].down.Store(true)
+	}
+	rep := r.shards[0].Load().Energy()
+	r.watts, r.idle = rep.ActiveWatts, rep.IdleWatts
 	return r, nil
 }
 
-// Shards returns the shard count.
+// Shards returns the fleet's slot capacity (Config.MaxShards): the valid
+// shard-index range for Part/Runtime/Health, whatever subset is live.
 func (r *Router) Shards() int { return len(r.shards) }
 
-// Workers returns the total worker count across shards.
+// Workers returns the total worker count across the current shards.
 func (r *Router) Workers() int {
 	n := 0
-	for _, rt := range r.shards {
-		n += rt.Workers()
+	for i := range r.shards {
+		if rt := r.shards[i].Load(); rt != nil {
+			n += rt.Workers()
+		}
 	}
 	return n
 }
 
-// Runtime returns shard i's runtime, for tests and per-shard introspection.
-func (r *Router) Runtime(i int) *sig.Runtime { return r.shards[i] }
+// Runtime returns shard i's runtime (nil for an empty slot), for tests and
+// per-shard introspection.
+func (r *Router) Runtime(i int) *sig.Runtime { return r.shards[i].Load() }
 
 // Group is one logical task group spanning every shard. It satisfies
 // adapt.Target, so a single controller can own the merged ratio.
 type Group struct {
 	r     *Router
 	name  string
-	ratio atomic.Uint64 // math.Float64bits of the global commanded ratio
-	parts []*sig.Group  // one physical group per shard
+	ratio atomic.Uint64             // math.Float64bits of the global commanded ratio
+	parts []atomic.Pointer[partRef] // slot-indexed; nil = empty slot
 	// trim is each shard's boost above the global ratio (float bits),
 	// updated by the trim controllers at wave boundaries and read by
 	// applyRatio — atomics so SetRatio (from an OnWave observer) never
@@ -221,10 +340,21 @@ type Group struct {
 	// shard's placement load.
 	added []atomic.Int64
 
+	// retiredMu guards retired and serializes part retirement (AddShard)
+	// with the cumulative readers, so counters move from a part into
+	// retired atomically — no snapshot ever misses or double-counts a
+	// retired incarnation.
+	retiredMu sync.Mutex
+	retired   sig.GroupStats
+
 	// waveMu serializes Wait/WaitPhase merging on this group, like the
 	// per-group phase lock of a single runtime.
 	waveMu sync.Mutex
 	wave   int
+	// lateWave holds, per slot, the pending result channel of a wave cut
+	// that overran WaveTimeout; a later merged wave folds it in when it
+	// arrives. Guarded by waveMu.
+	lateWave []chan sig.WaveStats
 }
 
 // Name returns the group's label.
@@ -244,17 +374,45 @@ func (g *Group) SetRatio(ratio float64) {
 // applyRatio pushes ratio+trim to every physical group.
 func (g *Group) applyRatio() {
 	ratio := g.Ratio()
-	for i, p := range g.parts {
-		p.SetRatio(math.Min(1, ratio+math.Float64frombits(g.trim[i].Load())))
+	for i := range g.parts {
+		if ref := g.parts[i].Load(); ref != nil {
+			ref.p.SetRatio(math.Min(1, ratio+math.Float64frombits(g.trim[i].Load())))
+		}
 	}
 }
 
 // Trim returns shard i's current boost above the global ratio.
 func (g *Group) Trim(i int) float64 { return math.Float64frombits(g.trim[i].Load()) }
 
-// Part returns the physical group on shard i, for tests and per-shard
-// introspection.
-func (g *Group) Part(i int) *sig.Group { return g.parts[i] }
+// Part returns the physical group on shard i (nil for an empty slot), for
+// tests and per-shard introspection.
+func (g *Group) Part(i int) *sig.Group {
+	if ref := g.parts[i].Load(); ref != nil {
+		return ref.p
+	}
+	return nil
+}
+
+// retire folds the outgoing incarnation's counters into the group's
+// retirement account and empties the slot. Called under r.mu (AddShard)
+// with the old runtime closed, so the snapshot is frozen and final.
+func (g *Group) retire(i int) {
+	g.retiredMu.Lock()
+	defer g.retiredMu.Unlock()
+	ref := g.parts[i].Load()
+	if ref == nil {
+		return
+	}
+	gs := ref.p.Stats()
+	g.retired.Submitted += gs.Submitted
+	g.retired.Accurate += gs.Accurate
+	g.retired.Approximate += gs.Approximate
+	g.retired.Dropped += gs.Dropped
+	g.retired.InBytes += gs.InBytes
+	g.retired.OutBytes += gs.OutBytes
+	g.retired.Decisions = append(g.retired.Decisions, gs.Decisions...)
+	g.parts[i].Store(nil)
+}
 
 // Group returns the logical group with the given name, creating it (on
 // every shard) on first use, and sets its global ratio. Like
@@ -273,16 +431,21 @@ func (r *Router) getOrCreateGroup(name string, ratio float64) (*Group, bool) {
 	if g, ok := r.groups[name]; ok {
 		return g, true
 	}
+	n := len(r.shards)
 	g := &Group{
-		r:     r,
-		name:  name,
-		parts: make([]*sig.Group, len(r.shards)),
-		trim:  make([]atomic.Uint64, len(r.shards)),
-		added: make([]atomic.Int64, len(r.shards)),
+		r:        r,
+		name:     name,
+		parts:    make([]atomic.Pointer[partRef], n),
+		trim:     make([]atomic.Uint64, n),
+		added:    make([]atomic.Int64, n),
+		lateWave: make([]chan sig.WaveStats, n),
 	}
 	g.ratio.Store(math.Float64bits(clamp01(ratio)))
-	for i, rt := range r.shards {
-		g.parts[i] = rt.Group(name, ratio)
+	g.retired.Name = name
+	for i := range r.shards {
+		if rt := r.shards[i].Load(); rt != nil {
+			g.parts[i].Store(&partRef{rt: rt, p: rt.Group(name, ratio)})
+		}
 	}
 	r.groups[name] = g
 	r.order = append(r.order, g)
@@ -332,8 +495,15 @@ func (r *Router) account(g *Group, i int, cost int64) {
 	g.added[i].Add(cost)
 }
 
+// routable reports whether slot j accepts new work: not drained and not
+// quarantined.
+func (r *Router) routable(j int) bool {
+	st := &r.state[j]
+	return !st.down.Load() && !st.quarantined.Load()
+}
+
 // place picks a shard for one spec. It only *proposes*: route() re-checks
-// liveness under the in-flight counter.
+// routability under the in-flight counter.
 func (r *Router) place(spec *sig.TaskSpec) int {
 	n := len(r.shards)
 	if n == 1 {
@@ -343,7 +513,7 @@ func (r *Router) place(spec *sig.TaskSpec) int {
 	case PlaceLeastLoad:
 		best, bestLoad := -1, int64(math.MaxInt64)
 		for i := range r.state {
-			if r.state[i].down.Load() {
+			if !r.routable(i) {
 				continue
 			}
 			if l := r.state[i].load.Load(); l < bestLoad {
@@ -356,7 +526,9 @@ func (r *Router) place(spec *sig.TaskSpec) int {
 		return 0
 	case PlaceCostAffinity:
 		// The binary exponent buckets costs into classes: tasks within 2x
-		// of each other share a shard (and therefore its slab pools).
+		// of each other share a shard (and therefore its slab pools). The
+		// class→slot map is over fixed slot capacity, so a drained slot's
+		// classes come home when the slot rejoins.
 		class := math.Ilogb(r.placementCost(spec))
 		if class < 0 {
 			class = 0
@@ -366,21 +538,21 @@ func (r *Router) place(spec *sig.TaskSpec) int {
 	return r.liveFrom(int(r.rr.Add(1)-1) % n)
 }
 
-// liveFrom returns the first non-down shard at or after i (wrapping); i
-// itself when every shard is down (route will reject it).
+// liveFrom returns the first routable shard at or after i (wrapping); i
+// itself when every shard is unroutable (route will reject it).
 func (r *Router) liveFrom(i int) int {
 	n := len(r.shards)
 	for probe := 0; probe < n; probe++ {
 		j := (i + probe) % n
-		if !r.state[j].down.Load() {
+		if r.routable(j) {
 			return j
 		}
 	}
 	return i % n
 }
 
-// route acquires a submit slot on a live shard at or after the proposed
-// index: it publishes the in-flight count first and re-checks down, so a
+// route acquires a submit slot on a routable shard at or after the proposed
+// index: it publishes the in-flight count first and re-checks, so a
 // concurrent DrainShard either sees the count and waits for the submission
 // to land, or already turned the shard away before it was picked.
 func (r *Router) route(i int) (int, bool) {
@@ -389,7 +561,7 @@ func (r *Router) route(i int) (int, bool) {
 		j := (i + probe) % n
 		s := &r.state[j]
 		s.inflight.Add(1)
-		if !s.down.Load() {
+		if r.routable(j) {
 			return j, true
 		}
 		s.inflight.Add(-1)
@@ -412,8 +584,9 @@ func (r *Router) Submit(g *Group, spec sig.TaskSpec) {
 	}
 	defer r.state[i].inflight.Add(-1)
 	r.account(g, i, int64(r.placementCost(&spec)))
+	ref := g.parts[i].Load()
 	one := [1]sig.TaskSpec{spec}
-	r.shards[i].SubmitBatch(g.parts[i], one[:])
+	ref.rt.SubmitBatch(ref.p, one[:])
 }
 
 // SubmitBatch scatters the batch across shards by the placement policy and
@@ -444,7 +617,8 @@ func (r *Router) SubmitBatch(g *Group, specs []sig.TaskSpec) {
 		for k := range specs {
 			r.account(g, i, int64(r.placementCost(&specs[k])))
 		}
-		r.shards[i].SubmitBatch(g.parts[i], specs)
+		ref := g.parts[i].Load()
+		ref.rt.SubmitBatch(ref.p, specs)
 		return
 	}
 	buckets := make([][]sig.TaskSpec, n)
@@ -484,10 +658,20 @@ func (r *Router) submitBucket(g *Group, b int, sub []sig.TaskSpec, cost int64) {
 		r.state[i].load.Add(cost)
 		g.added[i].Add(cost)
 	}
-	r.shards[i].SubmitBatch(g.parts[i], sub)
+	ref := g.parts[i].Load()
+	ref.rt.SubmitBatch(ref.p, sub)
 }
 
-// WaitPhase drains the logical group on every shard (in shard order) and
+// mergeWave folds one shard's wave cut into the merge.
+func mergeWave(merged *sig.WaveStats, busy *time.Duration, ws sig.WaveStats) {
+	merged.Submitted += ws.Submitted
+	merged.Accurate += ws.Accurate
+	merged.Approximate += ws.Approximate
+	merged.Dropped += ws.Dropped
+	*busy += ws.Busy
+}
+
+// WaitPhase drains the logical group on every shard (in slot order) and
 // returns the merged wave telemetry. Counts are summed; the merged busy
 // time is the exact integer sum of the shards' busy nanoseconds, and the
 // merged joules are computed from that sum in one multiplication — so the
@@ -496,6 +680,10 @@ func (r *Router) submitBucket(g *Group, b int, sub []sig.TaskSpec, cost int64) {
 // After the merge the per-shard trim controllers absorb each shard's
 // provided-ratio lag, then the Router's OnWave observer (if any) sees the
 // merged wave and may retune the global ratio for the next one.
+//
+// With Config.WaveTimeout set, a shard that overruns its wave cut is
+// skipped this wave (watchdog): its pending result folds into a later
+// merged wave when it finally arrives, and the miss is a health strike.
 func (r *Router) WaitPhase(g *Group) sig.WaveStats {
 	if g == nil {
 		g = r.defaultGroup()
@@ -504,18 +692,39 @@ func (r *Router) WaitPhase(g *Group) sig.WaveStats {
 	merged := sig.WaveStats{Wave: g.wave}
 	var busy time.Duration
 	lags := make([]float64, len(g.parts))
-	for i, p := range g.parts {
-		want := p.Ratio() // ratio+trim this shard was asked for
-		ws := r.shards[i].WaitPhase(p)
-		merged.Submitted += ws.Submitted
-		merged.Accurate += ws.Accurate
-		merged.Approximate += ws.Approximate
-		merged.Dropped += ws.Dropped
-		busy += ws.Busy
+	for i := range g.parts {
+		if ch := g.lateWave[i]; ch != nil {
+			// A previous wave's cut is still outstanding on this slot; a
+			// fresh cut would queue behind the wedge. Merge the late
+			// result if it arrived, strike again if not.
+			select {
+			case ws := <-ch:
+				g.lateWave[i] = nil
+				mergeWave(&merged, &busy, ws)
+				r.state[i].load.Add(-g.added[i].Swap(0))
+				r.waveOK(i)
+			default:
+				r.strike(i)
+			}
+			continue
+		}
+		ref := g.parts[i].Load()
+		if ref == nil {
+			continue
+		}
+		want := ref.p.Ratio() // ratio+trim this shard was asked for
+		ws, late := r.waitSlot(ref)
+		if late != nil {
+			g.lateWave[i] = late
+			r.strike(i)
+			continue
+		}
+		mergeWave(&merged, &busy, ws)
 		if ws.Decided() > 0 {
 			lags[i] = want - ws.ProvidedRatio
 		}
 		r.state[i].load.Add(-g.added[i].Swap(0))
+		r.probe(i)
 	}
 	merged.Busy = busy
 	merged.Joules = r.watts * busy.Seconds()
@@ -546,6 +755,26 @@ func (r *Router) WaitPhase(g *Group) sig.WaveStats {
 	return merged
 }
 
+// waitSlot cuts one shard's wave. Without a WaveTimeout it is a direct
+// synchronous call (today's bit-identical path, no goroutine). With one, it
+// bounds the wait: on timeout it returns the pending result channel so the
+// caller can fold the cut into a later wave.
+func (r *Router) waitSlot(ref *partRef) (sig.WaveStats, chan sig.WaveStats) {
+	if r.cfg.WaveTimeout <= 0 {
+		return ref.rt.WaitPhase(ref.p), nil
+	}
+	ch := make(chan sig.WaveStats, 1)
+	go func() { ch <- ref.rt.WaitPhase(ref.p) }()
+	timer := time.NewTimer(r.cfg.WaveTimeout)
+	select {
+	case ws := <-ch:
+		timer.Stop()
+		return ws, nil
+	case <-timer.C:
+		return sig.WaveStats{}, ch
+	}
+}
+
 // Wait drains the logical group on every shard and returns the cumulative
 // provided ratio of the merge, like sig.Runtime.Wait.
 func (r *Router) Wait(g *Group) float64 {
@@ -556,15 +785,21 @@ func (r *Router) Wait(g *Group) float64 {
 	return g.providedRatio()
 }
 
-// providedRatio is the merged cumulative accurate fraction, from the
-// shards' counters alone — no decision-log copying on the wave path.
+// providedRatio is the merged cumulative accurate fraction — retired
+// incarnations included — from the shards' counters alone; no decision-log
+// copying on the wave path.
 func (g *Group) providedRatio() float64 {
-	var acc, decided int64
-	for _, p := range g.parts {
-		_, a, ap, d := p.Counts()
-		acc += a
-		decided += a + ap + d
+	g.retiredMu.Lock()
+	acc := g.retired.Accurate
+	decided := g.retired.Accurate + g.retired.Approximate + g.retired.Dropped
+	for i := range g.parts {
+		if ref := g.parts[i].Load(); ref != nil {
+			_, a, ap, d := ref.p.Counts()
+			acc += a
+			decided += a + ap + d
+		}
 	}
+	g.retiredMu.Unlock()
 	if decided == 0 {
 		return g.Ratio()
 	}
@@ -582,11 +817,25 @@ func (r *Router) WaitAll() {
 }
 
 // Stats returns the logical group's merged accounting: counters summed
-// across shards, the requested ratio being the global command.
+// across shards — retired incarnations included — the requested ratio being
+// the global command.
 func (g *Group) Stats() sig.GroupStats {
+	g.retiredMu.Lock()
+	defer g.retiredMu.Unlock()
 	merged := sig.GroupStats{Name: g.name, RequestedRatio: g.Ratio()}
-	for _, p := range g.parts {
-		gs := p.Stats()
+	merged.Submitted = g.retired.Submitted
+	merged.Accurate = g.retired.Accurate
+	merged.Approximate = g.retired.Approximate
+	merged.Dropped = g.retired.Dropped
+	merged.InBytes = g.retired.InBytes
+	merged.OutBytes = g.retired.OutBytes
+	merged.Decisions = append(merged.Decisions, g.retired.Decisions...)
+	for i := range g.parts {
+		ref := g.parts[i].Load()
+		if ref == nil {
+			continue
+		}
+		gs := ref.p.Stats()
 		merged.Submitted += gs.Submitted
 		merged.Accurate += gs.Accurate
 		merged.Approximate += gs.Approximate
@@ -621,52 +870,86 @@ func (r *Router) Stats() sig.Stats {
 	return st
 }
 
-// ShardStats returns each shard's own Stats snapshot, indexed by shard.
+// ShardStats returns each slot's own Stats snapshot, indexed by slot (zero
+// value for empty slots). Retired incarnations are not included — they live
+// in the merged Group/Router views.
 func (r *Router) ShardStats() []sig.Stats {
 	out := make([]sig.Stats, len(r.shards))
-	for i, rt := range r.shards {
-		out[i] = rt.Stats()
+	for i := range r.shards {
+		if rt := r.shards[i].Load(); rt != nil {
+			out[i] = rt.Stats()
+		}
 	}
 	return out
 }
 
 // Energy returns the merged modeled energy report: busy time is the exact
-// integer sum of the shards' busy nanoseconds and the joules are computed
-// from that sum — bit-identical to a single runtime that executed the same
-// bodies. Wall is the slowest shard's wall clock; Workers the fleet total.
+// integer sum of the shards' busy nanoseconds — current incarnations plus
+// the retirement account of shards whose slot was reused — and the joules
+// are computed from that sum, bit-identical to a single runtime that
+// executed the same bodies. Wall is the slowest shard's wall clock; Workers
+// the total started, past incarnations included.
 func (r *Router) Energy() sig.Report {
-	var busy time.Duration
-	var wall time.Duration
-	workers := 0
-	var model sig.Report
-	for i, rt := range r.shards {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	busy, wall, workers := r.retired.busy, r.retired.wall, r.retired.workers
+	for i := range r.shards {
+		rt := r.shards[i].Load()
+		if rt == nil {
+			continue
+		}
 		rep := rt.Energy()
 		busy += rep.Busy
 		if rep.Wall > wall {
 			wall = rep.Wall
 		}
 		workers += rep.Workers
-		if i == 0 {
-			model = rep
-		}
 	}
 	return sig.Report{
 		Joules:      r.watts * busy.Seconds(),
 		Wall:        wall,
 		Busy:        busy,
 		Workers:     workers,
-		ActiveWatts: model.ActiveWatts,
-		IdleWatts:   model.IdleWatts,
+		ActiveWatts: r.watts,
+		IdleWatts:   r.idle,
 	}
 }
 
-// ShardEnergy returns each shard's own energy report, indexed by shard.
+// ShardEnergy returns each slot's own energy report, indexed by slot (zero
+// value for empty slots; retired incarnations excluded, as in ShardStats).
 func (r *Router) ShardEnergy() []sig.Report {
 	out := make([]sig.Report, len(r.shards))
-	for i, rt := range r.shards {
-		out[i] = rt.Energy()
+	for i := range r.shards {
+		if rt := r.shards[i].Load(); rt != nil {
+			out[i] = rt.Energy()
+		}
 	}
 	return out
+}
+
+// Panics sums the task-body panics absorbed across the fleet (see
+// sig.Config.RecoverPanics), past incarnations included.
+func (r *Router) Panics() int64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	n := r.retired.panics
+	for i := range r.shards {
+		if rt := r.shards[i].Load(); rt != nil {
+			n += rt.Panics()
+		}
+	}
+	return n
+}
+
+// routableLocked counts routable shards; r.mu must be held.
+func (r *Router) routableLocked() int {
+	n := 0
+	for j := range r.state {
+		if r.routable(j) {
+			n++
+		}
+	}
+	return n
 }
 
 // DrainShard removes shard i from the fleet at runtime: it marks the shard
@@ -674,43 +957,122 @@ func (r *Router) ShardEnergy() []sig.Report {
 // runtime — which drains every task the shard had queued or buffered.
 // Completed work stays in every merged Stats/Energy view (a closed
 // sig.Runtime's reports are frozen, not gone), so draining mid-wave loses
-// and double-counts nothing. Draining the last live shard is refused; a
-// drained shard cannot rejoin. Idempotent per shard.
+// and double-counts nothing. Draining the last routable shard is refused
+// with ErrLastShard; a drained slot can rejoin via AddShard. Idempotent per
+// shard.
 func (r *Router) DrainShard(i int) error {
 	if i < 0 || i >= len(r.shards) {
 		return fmt.Errorf("shard: DrainShard(%d) out of range [0,%d)", i, len(r.shards))
 	}
 	r.mu.Lock()
-	if r.state[i].down.Load() {
+	if r.closed {
+		r.mu.Unlock()
+		return fmt.Errorf("shard: DrainShard(%d): %w", i, ErrRouterClosed)
+	}
+	st := &r.state[i]
+	if st.down.Load() {
 		r.mu.Unlock()
 		return nil
 	}
-	live := 0
-	for j := range r.state {
-		if !r.state[j].down.Load() {
-			live++
-		}
+	routable := r.routableLocked()
+	if r.routable(i) {
+		routable--
 	}
-	if live <= 1 {
+	if routable < 1 {
 		r.mu.Unlock()
-		return fmt.Errorf("shard: cannot drain shard %d: it is the last live shard", i)
+		return fmt.Errorf("shard: cannot drain shard %d: %w", i, ErrLastShard)
 	}
-	r.state[i].down.Store(true)
+	st.draining.Store(true)
+	st.down.Store(true)
+	st.health.Store(int32(HealthDrained))
 	r.mu.Unlock()
 	// Wait out router submissions that picked this shard before down
 	// flipped; afterwards nothing new can reach it. Same yield-then-sleep
 	// discipline as sig.Runtime.Close.
-	for spin := 0; r.state[i].inflight.Load() != 0; spin++ {
+	for spin := 0; st.inflight.Load() != 0; spin++ {
 		if spin < 64 {
 			runtime.Gosched()
 		} else {
 			time.Sleep(100 * time.Microsecond)
 		}
 	}
-	return r.shards[i].Close()
+	err := r.shards[i].Load().Close()
+	st.draining.Store(false)
+	return err
 }
 
-// Live returns the number of shards still accepting work.
+// AddShard rejoins a fresh sig.Runtime into the lowest free slot and
+// returns its index. The outgoing incarnation of a reused slot (already
+// drained, so its report is frozen) moves into the retirement account —
+// exact integer busy nanoseconds — which keeps the merged energy
+// bit-identity contract: the joining runtime starts with a zero busy clock,
+// so merged joules stay one multiplication over an exact integer sum.
+// Placement state is re-seeded for the new shard: zero placement load (so
+// least-load favors it immediately), zero trim, and its fixed cost-affinity
+// classes come home. Returns ErrFleetFull with every slot routable,
+// ErrShardDraining while the only free slots still have a drain in flight,
+// ErrRouterClosed after Close.
+func (r *Router) AddShard() (int, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.closed {
+		return -1, fmt.Errorf("shard: AddShard: %w", ErrRouterClosed)
+	}
+	slot, draining := -1, false
+	for j := range r.state {
+		if !r.state[j].down.Load() {
+			continue
+		}
+		if r.state[j].draining.Load() {
+			draining = true
+			continue
+		}
+		slot = j
+		break
+	}
+	if slot < 0 {
+		if draining {
+			return -1, fmt.Errorf("shard: AddShard: %w", ErrShardDraining)
+		}
+		return -1, fmt.Errorf("shard: AddShard: %w", ErrFleetFull)
+	}
+	rt, err := sig.New(r.cfg.Runtime)
+	if err != nil {
+		return -1, err
+	}
+	if old := r.shards[slot].Load(); old != nil {
+		rep := old.Energy()
+		r.retired.busy += rep.Busy
+		if rep.Wall > r.retired.wall {
+			r.retired.wall = rep.Wall
+		}
+		r.retired.workers += rep.Workers
+		r.retired.panics += old.Panics()
+		for _, g := range r.order {
+			g.retire(slot)
+		}
+	}
+	st := &r.state[slot]
+	for _, g := range r.order {
+		g.trim[slot].Store(0)
+		g.added[slot].Store(0)
+		g.parts[slot].Store(&partRef{rt: rt, p: rt.Group(g.name, g.Ratio())})
+	}
+	st.load.Store(0)
+	st.strikes.Store(0)
+	st.autoDrain.Store(false)
+	st.quarantined.Store(false)
+	st.health.Store(int32(HealthLive))
+	r.shards[slot].Store(rt)
+	// Publish routability last: a submitter that observes down == false is
+	// ordered after every store above (atomics are seq-cst), so it can only
+	// see the fully assembled new incarnation.
+	st.down.Store(false)
+	return slot, nil
+}
+
+// Live returns the number of shards whose runtime is open (quarantined
+// shards included — they hold in-flight work even though they refuse new).
 func (r *Router) Live() int {
 	live := 0
 	for i := range r.state {
@@ -719,6 +1081,17 @@ func (r *Router) Live() int {
 		}
 	}
 	return live
+}
+
+// Routable returns the number of shards accepting new work.
+func (r *Router) Routable() int {
+	n := 0
+	for j := range r.state {
+		if r.routable(j) {
+			n++
+		}
+	}
+	return n
 }
 
 // Close drains every logical group and closes every shard (drained shards
@@ -733,8 +1106,10 @@ func (r *Router) Close() error {
 	r.closed = true
 	r.mu.Unlock()
 	var errs []error
-	for _, rt := range r.shards {
-		errs = append(errs, rt.Close())
+	for i := range r.shards {
+		if rt := r.shards[i].Load(); rt != nil {
+			errs = append(errs, rt.Close())
+		}
 	}
 	return errors.Join(errs...)
 }

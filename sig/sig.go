@@ -63,6 +63,12 @@ type Config struct {
 	// adaptive controller (sig/adapt) attaches to; it adds nothing to the
 	// per-task hot path (see observe.go).
 	Observer Observer
+	// RecoverPanics absorbs panics thrown by task bodies instead of letting
+	// them kill the worker goroutine. A panicked task still charges its
+	// declared cost (modeled energy stays deterministic under injected
+	// faults — see sig/chaos) and bumps the Panics counter. Off by default:
+	// the hot path then carries no defer.
+	RecoverPanics bool
 }
 
 // Task is a unit of work submitted to the runtime. Policies read the exported
@@ -189,6 +195,7 @@ type Runtime struct {
 	start  time.Time
 	clocks []clock
 	seq    atomic.Uint64
+	panics atomic.Int64
 }
 
 // New creates and starts a Runtime.
@@ -585,6 +592,10 @@ func (rt *Runtime) execute(id int, t *Task) {
 // account: the declared cost when the task carries one (deterministic), the
 // measured execution time otherwise.
 func (rt *Runtime) runBody(id int, body func(), cost float64) {
+	if rt.cfg.RecoverPanics {
+		rt.runBodyRecover(id, body, cost)
+		return
+	}
 	if cost >= 0 {
 		body()
 		rt.clocks[id].busyNS.Add(int64(cost))
@@ -594,6 +605,31 @@ func (rt *Runtime) runBody(id int, body func(), cost float64) {
 	body()
 	rt.clocks[id].busyNS.Add(int64(time.Since(start)))
 }
+
+// runBodyRecover is runBody under Config.RecoverPanics: the busy charge
+// moves into a deferred block so a panicking body still pays its declared
+// cost (or its measured time up to the panic) before the panic is absorbed.
+func (rt *Runtime) runBodyRecover(id int, body func(), cost float64) {
+	var start time.Time
+	if cost < 0 {
+		start = time.Now()
+	}
+	defer func() {
+		if cost >= 0 {
+			rt.clocks[id].busyNS.Add(int64(cost))
+		} else {
+			rt.clocks[id].busyNS.Add(int64(time.Since(start)))
+		}
+		if p := recover(); p != nil {
+			rt.panics.Add(1)
+		}
+	}()
+	body()
+}
+
+// Panics reports how many task-body panics the runtime has absorbed; always
+// zero unless Config.RecoverPanics is set.
+func (rt *Runtime) Panics() int64 { return rt.panics.Load() }
 
 func (g *Group) addFootprint(t *Task) {
 	for _, r := range t.ins {
