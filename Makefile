@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: test vet race bench fuzz fuzz-serve fuzz-shard fuzz-chaos chaos bench-adapt serve-study bench-shard bench-multicore bench-fleet
+.PHONY: test vet race bench fuzz fuzz-serve fuzz-shard fuzz-chaos chaos bench-adapt serve-study slo-study bench-shard bench-multicore bench-fleet
 
 # -shuffle=on randomizes test order within each package so order-dependent
 # tests cannot hide behind file order; CI runs the same way.
@@ -56,6 +56,12 @@ bench-adapt:
 # BENCH_sig.json under the "serve" key.
 serve-study:
 	$(GO) run ./cmd/sigbench serve -scale 0.1 -backend all -append-bench BENCH_sig.json
+
+# Run the serving-SLO study (measured shed/recover waves vs the bounds
+# derived from the secant law, windowed quality floor, priority-lane
+# latency split) and append its summary to BENCH_sig.json under "slo".
+slo-study:
+	$(GO) run ./cmd/sigbench slo -append-bench BENCH_sig.json
 
 # Run the multi-runtime sharding study (burst submit throughput at 1/2/4/8
 # shards, energy additivity, placement sweep) and append its summary to

@@ -13,6 +13,7 @@
 //	sigbench ablate [-scale 0.25] [-workers 16]
 //	sigbench adaptive [-scale 0.25] [-setpoint 16] [-waves 24] [-append-bench BENCH_sig.json]
 //	sigbench serve  [-scale 0.25] [-workers 16] [-backend sobel|kmeans|all] [-shards 4] [-append-bench BENCH_sig.json]
+//	sigbench slo    [-append-bench BENCH_sig.json]
 //	sigbench shard  [-reps 3] [-append-bench BENCH_sig.json]
 //	sigbench fleet  [-append-bench BENCH_sig.json]
 //	sigbench multicore [-procs 1,2,4,8] [-reps 3] [-append-bench BENCH_sig.json]
@@ -93,6 +94,8 @@ func main() {
 		err = runAdaptive(*scale, *workers, *setpoint, *waves, *appendTo)
 	case "serve":
 		err = runServe(*scale, *workers, *shards, *backend, *appendTo)
+	case "slo":
+		err = runSLO(*appendTo)
 	case "shard":
 		err = runShard(shardReps, *appendTo)
 	case "fleet":
@@ -135,6 +138,10 @@ func main() {
 			break
 		}
 		fmt.Println()
+		if err = runSLO(""); err != nil {
+			break
+		}
+		fmt.Println()
 		if err = runFleet(""); err != nil {
 			break
 		}
@@ -151,7 +158,7 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: sigbench {table1|fig1|fig2|fig3|fig4|table2|ablate|adaptive|serve|shard|fleet|multicore|all} [flags]")
+	fmt.Fprintln(os.Stderr, "usage: sigbench {table1|fig1|fig2|fig3|fig4|table2|ablate|adaptive|serve|slo|shard|fleet|multicore|all} [flags]")
 	fmt.Fprintln(os.Stderr, "run 'sigbench <cmd> -h' for per-command flags")
 }
 
@@ -315,6 +322,52 @@ func runServe(scale float64, workers, shards int, backend, appendTo string) erro
 		return nil
 	}
 	return mergeBenchKey(appendTo, "serve", entry)
+}
+
+// runSLO executes the serving-SLO study (measured reactions vs the derived
+// secant-law bounds, the windowed quality floor, the priority lane), prints
+// it, and (when appendTo names a BENCH json file) merges the summary under
+// the "slo" key.
+func runSLO(appendTo string) error {
+	res, err := harness.SLOStudy(harness.SLOConfig{})
+	if err != nil {
+		return err
+	}
+	harness.PrintSLOStudy(os.Stdout, res)
+	if appendTo == "" {
+		return nil
+	}
+	reactions := map[string]any{}
+	for _, row := range res.Reaction {
+		reactions[fmt.Sprintf("%.0fx", row.Overload)] = map[string]any{
+			"pre_ratio":     row.PreRatio,
+			"shed_waves":    row.ShedWaves,
+			"shed_bound":    row.ShedBound,
+			"backlog":       row.Backlog,
+			"drain_waves":   row.DrainWaves,
+			"recover_waves": row.RecoverWaves,
+			"recover_bound": row.RecoverBound,
+		}
+	}
+	return mergeBenchKey(appendTo, "slo", map[string]any{
+		"subject":           "serving SLOs: measured reactions vs derived secant-law bounds, windowed floor, priority lane (harness.SLOStudy)",
+		"host":              hostEntry(),
+		"base_per_wave":     res.BasePerWave,
+		"utilization":       res.Utilization,
+		"reactions":         reactions,
+		"all_within_bound":  res.AllWithinBound,
+		"floor":             res.Floor,
+		"floor_window":      res.Window,
+		"min_window_mean":   res.MinWindowMean,
+		"min_wave_provided": res.MinProvided,
+		"floor_dips":        res.FloorDips,
+		"priority_at":       res.PriorityAt,
+		"premium_completed": res.PremiumCompleted,
+		"prio_p50_waves":    res.PrioP50,
+		"prio_p99_waves":    res.PrioP99,
+		"bulk_p50_waves":    res.BulkP50,
+		"bulk_p99_waves":    res.BulkP99,
+	})
 }
 
 // runShard executes the multi-runtime sharding study, prints it, and (when

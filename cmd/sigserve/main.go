@@ -9,7 +9,8 @@
 //	sigserve [-addr :8080] [-backend sobel|kmeans] [-scale 0.25]
 //	         [-workers 0] [-shards 1] [-period 5ms] [-queue 4096]
 //	         [-minratio 0] [-target-load 1.0] [-deadline 0]
-//	         [-autoscale] [-max-shards 0]
+//	         [-autoscale] [-max-shards 0] [-priority-at 0]
+//	         [-quality-floor 0] [-quality-window 0]
 //
 // With -shards N (N ≥ 2) the server runs over a shard.Router fleet of N
 // runtime shards (-workers is then the per-shard pool) and the admission
@@ -24,11 +25,19 @@
 // Queue-full rejections are 503 with a Retry-After header carrying the
 // server's backlog-drain estimate.
 //
+// -priority-at S (in (0,1]) enables the priority admission lane: requests
+// with significance >= S (e.g. tier=gold at 1.0) queue in a reserved slice
+// of the limit and are drained ahead of the bulk FIFO each wave.
+// -quality-floor F holds the mean provided accuracy ratio over the last
+// -quality-window waves (default 16) at or above F — the windowed quality
+// SLO; individual waves may still dip below it.
+//
 // Endpoints:
 //
 //	GET /work?tier=gold|silver|bronze|batch   serve one request at the
 //	    (or ?sig=0.7) [&deadline_ms=50]       tier's significance
 //	GET /stats                                serving counters + ratio
+//	GET /metrics                              Prometheus text exposition
 //	GET /healthz                              liveness
 //
 // Example:
@@ -81,8 +90,24 @@ func main() {
 		deadline   = flag.Duration("deadline", 0, "default per-request deadline (0 = none)")
 		autoscale  = flag.Bool("autoscale", false, "autoscale the shard fleet with load (needs -shards >= 2)")
 		maxShards  = flag.Int("max-shards", 0, "autoscale ceiling (0 = 2x -shards)")
+		priorityAt = flag.Float64("priority-at", 0, "priority lane threshold: significance at or above it bypasses the bulk queue (0 = no lane)")
+		floor      = flag.Float64("quality-floor", 0, "windowed quality SLO: mean provided ratio over the window stays at or above this (0 = none)")
+		floorWin   = flag.Int("quality-window", 0, "quality-floor averaging window in waves (0 = default)")
 	)
 	flag.Parse()
+
+	// Flag combinations that can only be mistakes fail at parse time with
+	// usage, not as a late serve.New error after the backend spin-up.
+	if *autoscale && *shards < 2 {
+		fmt.Fprintf(os.Stderr, "sigserve: -autoscale requires -shards >= 2 (got -shards %d)\n", *shards)
+		flag.Usage()
+		os.Exit(2)
+	}
+	if *floorWin > 0 && *floor == 0 {
+		fmt.Fprintln(os.Stderr, "sigserve: -quality-window requires -quality-floor")
+		flag.Usage()
+		os.Exit(2)
+	}
 
 	backend, err := harness.ServeBackendByName(*backendSel, *scale)
 	if err != nil {
@@ -90,12 +115,15 @@ func main() {
 		os.Exit(2)
 	}
 	cfg := serve.Config{
-		Workers:    *workers,
-		Shards:     *shards,
-		QueueLimit: *queue,
-		WavePeriod: *period,
-		MinRatio:   *minRatio,
-		TargetLoad: *targetLoad,
+		Workers:       *workers,
+		Shards:        *shards,
+		QueueLimit:    *queue,
+		WavePeriod:    *period,
+		MinRatio:      *minRatio,
+		TargetLoad:    *targetLoad,
+		PriorityAt:    *priorityAt,
+		QualityFloor:  *floor,
+		QualityWindow: *floorWin,
 	}
 	if *autoscale {
 		cfg.AutoScale = &shard.AutoscalerConfig{MaxShards: *maxShards}
@@ -169,22 +197,32 @@ func main() {
 		if fleet := srv.Fleet(); fleet != nil {
 			live = fleet.Live()
 		}
+		bulkDepth, prioDepth := srv.LaneDepths()
 		writeJSON(w, map[string]any{
-			"backend":     backend.Name,
-			"shards":      max(*shards, 1),
-			"live_shards": live,
-			"ratio":       srv.Ratio(),
-			"depth":       srv.Depth(),
-			"waves":       tot.Waves,
-			"submitted":   tot.Submitted,
-			"rejected":    tot.Rejected,
-			"completed":   tot.Completed,
-			"accurate":    tot.Accurate,
-			"degraded":    tot.Degraded,
-			"dropped":     tot.Dropped,
-			"timedout":    tot.TimedOut,
-			"joules":      tot.Joules,
+			"backend":        backend.Name,
+			"shards":         max(*shards, 1),
+			"live_shards":    live,
+			"ratio":          srv.Ratio(),
+			"load":           srv.Load(),
+			"budget":         srv.Budget(),
+			"depth":          srv.Depth(),
+			"bulk_depth":     bulkDepth,
+			"priority_depth": prioDepth,
+			"waves":          tot.Waves,
+			"submitted":      tot.Submitted,
+			"rejected":       tot.Rejected,
+			"completed":      tot.Completed,
+			"accurate":       tot.Accurate,
+			"degraded":       tot.Degraded,
+			"dropped":        tot.Dropped,
+			"timedout":       tot.TimedOut,
+			"priority":       tot.Priority,
+			"joules":         tot.Joules,
 		})
+	})
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = srv.WriteMetrics(w)
 	})
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
 		fmt.Fprintln(w, "ok")

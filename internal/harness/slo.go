@@ -1,0 +1,344 @@
+package harness
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+
+	"repro/sig/adapt"
+	"repro/sig/serve"
+)
+
+// SLOStudy measures the serving layer's SLO machinery against its paper
+// contracts: the reaction-time bounds derived from the secant law's
+// arithmetic (sig/adapt/bounds.go), the windowed quality floor, and the
+// priority lane's latency separation. Requests are synthetic no-op bodies
+// with declared costs — the study isolates the admission arithmetic the
+// bounds are proven for (assumption 1: declared costs make the load signal
+// affine in the ratio), so every number is bit-identical across runs.
+
+// Declared request costs of the SLO study's synthetic service: degraded
+// work is ~13% of accurate work, like the sobel kernels.
+const (
+	sloCostAcc = 30_000.0
+	sloCostDeg = 4_000.0
+)
+
+// SLOConfig parameterizes SLOStudy. Zero fields take defaults.
+type SLOConfig struct {
+	// BasePerWave is the light-load arrival rate (default 8); the wave
+	// budget is sized so that rate fills Utilization of capacity at full
+	// quality.
+	BasePerWave int
+	// Utilization in (0,1) is the light-load duty cycle (default 0.6);
+	// 1−Utilization is the recovery bound's headroom term.
+	Utilization float64
+	// Overloads are the step multiples the reaction section measures
+	// (default 2, 4, 6).
+	Overloads []float64
+	// Window and Floor parameterize the quality-floor section (defaults
+	// 8 waves at 0.5).
+	Window int
+	Floor  float64
+	// PriorityAt is the lane section's premium threshold (default 0.95:
+	// the every-tenth tier-1.0 requests).
+	PriorityAt float64
+}
+
+func (c SLOConfig) withDefaults() SLOConfig {
+	if c.BasePerWave <= 0 {
+		c.BasePerWave = 8
+	}
+	if c.Utilization <= 0 || c.Utilization >= 1 {
+		c.Utilization = 0.6
+	}
+	if len(c.Overloads) == 0 {
+		c.Overloads = []float64{2, 4, 6}
+	}
+	if c.Window <= 0 {
+		c.Window = 8
+	}
+	if c.Floor <= 0 {
+		c.Floor = 0.5
+	}
+	if c.PriorityAt <= 0 {
+		c.PriorityAt = 0.95
+	}
+	return c
+}
+
+// SLOReactionRow is one overload step's measured reaction against the
+// derived bound.
+type SLOReactionRow struct {
+	Overload float64
+	// PreRatio is the commanded ratio before the step; DeltaR = PreRatio
+	// (conservative travel distance: the bound does not know the post-shed
+	// equilibrium, so it assumes the full commanded range).
+	PreRatio float64
+	// ShedWaves is the first wave of the step whose measured load is back
+	// at or under the cap; ShedBound the derived maximum (-1 = never, a
+	// bound violation).
+	ShedWaves, ShedBound int
+	// Backlog is the queue depth when the step ends; DrainWaves the
+	// modeled waves to work it off at the post-shed admission rate — the
+	// caller-owned phase the recovery bound sits on top of.
+	Backlog, DrainWaves int
+	// RecoverWaves is how many waves past the step's end the command
+	// climbed back within 0.05 of PreRatio; RecoverBound the derived
+	// maximum including DrainWaves (-1 = never).
+	RecoverWaves, RecoverBound int
+}
+
+// SLOResult is the outcome of the SLO study.
+type SLOResult struct {
+	BasePerWave int
+	Utilization float64
+
+	// Reaction section: measured shed/recover waves vs the derived bounds,
+	// one row per overload multiple. AllWithinBound is the headline claim.
+	Reaction       []SLOReactionRow
+	AllWithinBound bool
+
+	// Quality-floor section: a sustained 4x overload under a Window-wave
+	// Floor. MinWindowMean is the worst full-window mean of the provided
+	// ratio (the SLO: must hold the floor); MinProvided the worst single
+	// wave (expected to dip below it — the floor is a long-run average);
+	// FloorDips counts the waves that dipped.
+	Window        int
+	Floor         float64
+	MinWindowMean float64
+	MinProvided   float64
+	FloorDips     int
+
+	// Priority-lane section: premium (tier 1.0) vs bulk wave-latency
+	// percentiles under the same sustained overload.
+	PriorityAt       float64
+	PremiumCompleted int64
+	PrioP50, PrioP99 int
+	BulkP50, BulkP99 int
+}
+
+// sloRequest is the i-th synthetic request: the study tier spread, no-op
+// bodies, declared costs.
+func sloRequest(i int) serve.Request {
+	return serve.Request{
+		Significance: serveTier(i),
+		Handler:      func() {},
+		Degraded:     func() {},
+		CostAccurate: sloCostAcc,
+		CostDegraded: sloCostDeg,
+	}
+}
+
+// sloServer builds the section's server: budget sized for BasePerWave at
+// the study utilization, a queue deep enough that steps shed quality, not
+// requests. The reaction section caps load at 1.0 (full capacity), the
+// setting the bounds' absorbability assumption is stated for.
+func sloServer(cfg SLOConfig, mut func(*serve.Config)) (*serve.Server, error) {
+	sc := serve.Config{
+		Workers:    2,
+		WaveBudget: float64(cfg.BasePerWave) * sloCostAcc / cfg.Utilization,
+		QueueLimit: 64 * cfg.BasePerWave,
+	}
+	if mut != nil {
+		mut(&sc)
+	}
+	return serve.New(sc)
+}
+
+// SLOStudy runs the three SLO sections. Deterministic end to end: declared
+// costs, no wall-clock deadlines, explicit waves.
+func SLOStudy(cfg SLOConfig) (SLOResult, error) {
+	cfg = cfg.withDefaults()
+	res := SLOResult{
+		BasePerWave: cfg.BasePerWave,
+		Utilization: cfg.Utilization,
+		Window:      cfg.Window,
+		Floor:       cfg.Floor,
+		PriorityAt:  cfg.PriorityAt,
+	}
+	if err := sloReaction(cfg, &res); err != nil {
+		return res, err
+	}
+	if err := sloFloor(cfg, &res); err != nil {
+		return res, err
+	}
+	if err := sloLanes(cfg, &res); err != nil {
+		return res, err
+	}
+	return res, nil
+}
+
+func sloReaction(cfg SLOConfig, res *SLOResult) error {
+	res.AllWithinBound = true
+	for _, over := range cfg.Overloads {
+		s, err := sloServer(cfg, func(c *serve.Config) { c.TargetLoad = 1.0 })
+		if err != nil {
+			return err
+		}
+		seq := 0
+		wave := func(n int) serve.WaveReport {
+			for i := 0; i < n; i++ {
+				if _, err := s.Submit(sloRequest(seq)); err == nil {
+					seq++
+				}
+			}
+			return s.RunWave()
+		}
+		for w := 0; w < 8; w++ {
+			wave(cfg.BasePerWave) // settle at the base rate
+		}
+		row := SLOReactionRow{Overload: over, PreRatio: s.Ratio()}
+		row.ShedBound = adapt.ShedBound(row.PreRatio, adapt.DefaultMaxStep)
+		row.ShedWaves = -1
+
+		stepped := int(float64(cfg.BasePerWave) * over)
+		for w := 1; w <= row.ShedBound+2; w++ {
+			rep := wave(stepped)
+			if row.ShedWaves < 0 && rep.Load <= 1.0 {
+				row.ShedWaves = w
+			}
+		}
+		row.Backlog = s.Depth()
+
+		// The recovery bound owns only the climb; the backlog-drain phase
+		// belongs to the caller's arithmetic: each post-step wave admits at
+		// least budget/costAcc requests (full-cost worst case) and receives
+		// BasePerWave fresh ones, for a net drain of base/util − 1 − base.
+		netDrain := float64(cfg.BasePerWave)/cfg.Utilization - 1 - float64(cfg.BasePerWave)
+		if row.Backlog > 0 && netDrain > 0 {
+			row.DrainWaves = int(math.Ceil(float64(row.Backlog) / netDrain))
+		}
+		row.RecoverBound = row.DrainWaves +
+			adapt.RecoverBound(row.PreRatio, adapt.DefaultGain, adapt.DefaultMaxStep, 1-cfg.Utilization)
+		row.RecoverWaves = -1
+		for w := 1; w <= row.RecoverBound+5; w++ {
+			rep := wave(cfg.BasePerWave)
+			if rep.NextRatio >= row.PreRatio-0.05 {
+				row.RecoverWaves = w
+				break
+			}
+		}
+		if err := s.Close(); err != nil {
+			return err
+		}
+		if row.ShedWaves < 0 || row.ShedWaves > row.ShedBound ||
+			row.RecoverWaves < 0 || row.RecoverWaves > row.RecoverBound {
+			res.AllWithinBound = false
+		}
+		res.Reaction = append(res.Reaction, row)
+	}
+	return nil
+}
+
+func sloFloor(cfg SLOConfig, res *SLOResult) error {
+	s, err := sloServer(cfg, func(c *serve.Config) {
+		c.QualityFloor = cfg.Floor
+		c.QualityWindow = cfg.Window
+	})
+	if err != nil {
+		return err
+	}
+	var provided []float64
+	seq := 0
+	for w := 0; w < 60; w++ {
+		for i := 0; i < 4*cfg.BasePerWave; i++ {
+			if _, err := s.Submit(sloRequest(seq)); err == nil {
+				seq++
+			}
+		}
+		rep := s.RunWave()
+		if rep.Admitted > 0 {
+			provided = append(provided, rep.Provided)
+		}
+	}
+	if err := s.Close(); err != nil {
+		return err
+	}
+	res.MinWindowMean, res.MinProvided = 1, 1
+	for i, p := range provided {
+		res.MinProvided = math.Min(res.MinProvided, p)
+		if p < cfg.Floor {
+			res.FloorDips++
+		}
+		if i+1 < cfg.Window {
+			continue
+		}
+		var sum float64
+		for _, q := range provided[i+1-cfg.Window : i+1] {
+			sum += q
+		}
+		res.MinWindowMean = math.Min(res.MinWindowMean, sum/float64(cfg.Window))
+	}
+	return nil
+}
+
+func sloLanes(cfg SLOConfig, res *SLOResult) error {
+	s, err := sloServer(cfg, func(c *serve.Config) { c.PriorityAt = cfg.PriorityAt })
+	if err != nil {
+		return err
+	}
+	type tagged struct {
+		tk      *serve.Ticket
+		premium bool
+	}
+	var tks []tagged
+	seq := 0
+	for w := 0; w < 24; w++ {
+		for i := 0; i < 4*cfg.BasePerWave; i++ {
+			req := sloRequest(seq)
+			tk, err := s.Submit(req)
+			seq++
+			if err != nil {
+				continue
+			}
+			tks = append(tks, tagged{tk: tk, premium: req.Significance >= cfg.PriorityAt})
+		}
+		s.RunWave()
+	}
+	if err := s.Close(); err != nil { // resolves every accepted ticket
+		return err
+	}
+	var prio, bulk []int
+	for _, t := range tks {
+		if t.premium {
+			prio = append(prio, t.tk.WaveLatency())
+		} else {
+			bulk = append(bulk, t.tk.WaveLatency())
+		}
+		t.tk.Release()
+	}
+	res.PremiumCompleted = s.Totals().Priority
+	res.PrioP50, res.PrioP99 = percentilesWaves(prio)
+	res.BulkP50, res.BulkP99 = percentilesWaves(bulk)
+	return nil
+}
+
+func percentilesWaves(lats []int) (p50, p99 int) {
+	if len(lats) == 0 {
+		return 0, 0
+	}
+	sort.Ints(lats)
+	return lats[len(lats)*50/100], lats[len(lats)*99/100]
+}
+
+// PrintSLOStudy renders the study: the reaction table (measured vs bound),
+// the floor section, and the lane percentiles the gating test and BENCH
+// json consume.
+func PrintSLOStudy(w io.Writer, r SLOResult) {
+	fmt.Fprintf(w, "SLO study (base %d req/wave at %.0f%% utilization, declared costs)\n",
+		r.BasePerWave, 100*r.Utilization)
+	fmt.Fprintf(w, "%-9s %6s %6s %7s %8s %7s %8s %9s\n",
+		"overload", "preR", "shed", "shedBnd", "backlog", "drain", "recover", "recovBnd")
+	for _, row := range r.Reaction {
+		fmt.Fprintf(w, "%-9s %6.2f %6d %7d %8d %7d %8d %9d\n",
+			fmt.Sprintf("%gx", row.Overload), row.PreRatio, row.ShedWaves, row.ShedBound,
+			row.Backlog, row.DrainWaves, row.RecoverWaves, row.RecoverBound)
+	}
+	fmt.Fprintf(w, "reaction: all measured reactions within the derived bounds: %v\n", r.AllWithinBound)
+	fmt.Fprintf(w, "floor: window %d floor %.2f -> min window mean %.3f, min wave %.3f, %d waves dipped\n",
+		r.Window, r.Floor, r.MinWindowMean, r.MinProvided, r.FloorDips)
+	fmt.Fprintf(w, "lanes: priority>=%.2f -> premium p50/p99 %d/%d waves vs bulk %d/%d (%d premium completed)\n",
+		r.PriorityAt, r.PrioP50, r.PrioP99, r.BulkP50, r.BulkP99, r.PremiumCompleted)
+}

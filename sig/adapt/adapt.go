@@ -69,6 +69,21 @@ const (
 	DefaultDeadband = 0.02
 )
 
+// WindowFloor is a long-run quality SLO layered over any objective: the
+// mean provided ratio over the last Window waves must stay at or above
+// Floor. It is the windowed (long-run average) form of a quality floor —
+// per-wave ratios may dip below Floor during transients, as long as the
+// surrounding window makes up for the dip. PAPERS.md's "Long-Run Average
+// Behavior of VASS" motivates the form: hold the SLO as an average over a
+// sliding window rather than per step.
+type WindowFloor struct {
+	// Window is the averaging horizon in waves (≥ 1). Window 1 degenerates
+	// to a per-wave floor.
+	Window int
+	// Floor is the windowed mean provided ratio to hold, in [0, Config.Max].
+	Floor float64
+}
+
 // Config parameterizes a Controller.
 type Config struct {
 	// Group names the controlled task group ("" = the default group).
@@ -97,6 +112,15 @@ type Config struct {
 	Deadband float64
 	// Min and Max bound the commanded ratio (defaults 0 and 1).
 	Min, Max float64
+	// WindowFloor, when non-nil, wraps the objective with a long-run
+	// quality floor: whatever the law commands, the next ratio is raised
+	// (never lowered) to the minimum that keeps the mean provided ratio
+	// over the last WindowFloor.Window waves at or above WindowFloor.Floor.
+	// The commanded ratio stands in for the wave it commands — exact under
+	// the deterministic GTB policies up to batch quantization — and the
+	// clamp is pure arithmetic over the retained window, so a floored
+	// controller replays bit-identically like an unfloored one.
+	WindowFloor *WindowFloor
 	// TraceCap, when positive, bounds the retained control trace to the
 	// most recent TraceCap samples. Long-running controllers (a serving
 	// layer observing every wave for days) otherwise grow the trace without
@@ -144,6 +168,9 @@ type Sample struct {
 	// Held reports that the measure sat inside the deadband and the
 	// ratio was left alone.
 	Held bool
+	// WindowMean is the mean provided ratio over the retained WindowFloor
+	// window after this wave (0 when no WindowFloor is configured).
+	WindowMean float64
 }
 
 // Controller is a per-group feedback controller. It implements
@@ -159,6 +186,11 @@ type Controller struct {
 	prevRatio   float64
 	prevMeasure float64
 	havePrev    bool
+	// win is WindowFloor's ring of the last Window provided ratios: winN
+	// valid entries, winIdx the next write position. Nil without a floor.
+	win    []float64
+	winN   int
+	winIdx int
 }
 
 // New validates cfg and builds a Controller.
@@ -191,7 +223,18 @@ func New(cfg Config) (*Controller, error) {
 	if cfg.Min < 0 || cfg.Max > 1 || cfg.Min > cfg.Max {
 		return nil, fmt.Errorf("adapt: ratio bounds [%v,%v] outside [0,1]", cfg.Min, cfg.Max)
 	}
+	if wf := cfg.WindowFloor; wf != nil {
+		if wf.Window < 1 {
+			return nil, fmt.Errorf("adapt: WindowFloor.Window %d < 1", wf.Window)
+		}
+		if wf.Floor < 0 || wf.Floor > cfg.Max {
+			return nil, fmt.Errorf("adapt: WindowFloor.Floor %v outside [0,%v]", wf.Floor, cfg.Max)
+		}
+	}
 	c := &Controller{cfg: cfg}
+	if wf := cfg.WindowFloor; wf != nil {
+		c.win = make([]float64, wf.Window)
+	}
 	if cfg.TraceCap > 0 {
 		// The compaction bound is 2*TraceCap, so a capped trace never grows
 		// its backing array: observing a wave is allocation-free, which the
@@ -238,6 +281,10 @@ func (c *Controller) Observe(g Target, ws sig.WaveStats) {
 	}
 	c.mu.Lock()
 	next, held := c.step(ws.RequestedRatio, measure)
+	var winMean float64
+	if c.cfg.WindowFloor != nil {
+		next, held, winMean = c.applyFloor(next, held, ws.ProvidedRatio)
+	}
 	// Compact lazily at 2x the cap so steady-state appends stay O(1)
 	// amortized: one copy per TraceCap waves, not per wave.
 	if tc := c.cfg.TraceCap; tc > 0 && len(c.trace) >= 2*tc {
@@ -253,6 +300,7 @@ func (c *Controller) Observe(g Target, ws sig.WaveStats) {
 		Joules:        ws.Joules,
 		Dropped:       ws.Dropped,
 		Held:          held,
+		WindowMean:    winMean,
 	})
 	c.mu.Unlock()
 	g.SetRatio(next)
@@ -313,6 +361,42 @@ func (c *Controller) step(ratio, measure float64) (next float64, held bool) {
 	step = clamp(step, -maxStep, maxStep)
 	c.prevRatio, c.prevMeasure, c.havePrev = ratio, measure, true
 	return c.clampRatio(ratio + step), false
+}
+
+// applyFloor enforces Config.WindowFloor: push the completed wave's
+// provided ratio into the window ring, then raise next (never lower it) so
+// the windowed mean stays at or above the floor. With p_1..p_k the most
+// recent min(seen, Window−1) provided ratios — the part of the next wave's
+// window already fixed — the next wave must provide at least
+// (k+1)·Floor − Σ p_i; the commanded ratio stands in for what it will
+// provide. A floor beyond Max clamps to Max: the controller commands the
+// best it can. Caller holds c.mu.
+func (c *Controller) applyFloor(next float64, held bool, provided float64) (float64, bool, float64) {
+	wf := c.cfg.WindowFloor
+	w := len(c.win)
+	c.win[c.winIdx] = provided
+	c.winIdx = (c.winIdx + 1) % w
+	if c.winN < w {
+		c.winN++
+	}
+	// Sum oldest → newest so the float accumulation order is a function of
+	// the trajectory alone — bit-identical under replay.
+	start := (c.winIdx - c.winN + w) % w
+	var sumAll float64
+	for i := 0; i < c.winN; i++ {
+		sumAll += c.win[(start+i)%w]
+	}
+	sumRecent := sumAll // the next wave's window keeps all retained waves…
+	kept := c.winN
+	if c.winN == w {
+		sumRecent -= c.win[start] // …unless full: the oldest rolls off
+		kept = w - 1
+	}
+	need := float64(kept+1)*wf.Floor - sumRecent
+	if f := c.clampRatio(need); f > next {
+		next, held = f, false
+	}
+	return next, held, sumAll / float64(c.winN)
 }
 
 func (c *Controller) clampRatio(r float64) float64 {

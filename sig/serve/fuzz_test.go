@@ -12,8 +12,12 @@ import (
 //     per-outcome totals conserve (accurate+degraded+dropped = completed =
 //     accepted);
 //   - accepted + rejected = attempted;
-//   - the admission queue never exceeds its limit;
+//   - each admission lane never exceeds its own slot share, and a Submit
+//     is rejected only when its lane is at that share — the priority slice
+//     can never be starved by bulk traffic, nor the bulk remainder by
+//     premium traffic;
 //   - the commanded ratio respects the MinRatio contract;
+//   - Totals.Priority equals the premium requests that were accepted;
 //   - the modeled energy account equals the declared cost of what actually
 //     ran: accurate outcomes charge their accurate cost, degraded outcomes
 //     their degraded cost, dropped outcomes exactly nothing (the runtime's
@@ -22,20 +26,22 @@ import (
 // Input encoding (every byte string is valid):
 //
 //	data[0]  workers (1..4)
-//	data[1]  queue limit (1..32)
+//	data[1]  queue limit (1..32; floored at 2 with a priority lane)
 //	data[2]  wave budget, in accurate-request units (1..16)
 //	data[3]  MinRatio, quantized to data[3]/255 * 0.8
-//	data[4:] op stream: 0 runs a wave; any other byte v submits a request
+//	data[4]  priority lane: 0 disables, else PriorityAt = 0.5 + (v%5)/10
+//	data[5:] op stream: 0 runs a wave; any other byte v submits a request
 //	         with significance (v%11)/10, a degraded body iff v%3 != 0,
 //	         and declared costs derived from v.
 func FuzzServeAdmission(f *testing.F) {
-	f.Add([]byte{1, 8, 4, 0, 7, 7, 7, 0, 9, 9, 0})
-	f.Add([]byte{2, 2, 1, 128, 3, 6, 9, 12, 0, 3, 6, 9, 12, 0, 0})
-	f.Add([]byte{4, 32, 16, 64, 255, 254, 253, 1, 2, 3, 0, 255, 1, 0})
-	f.Add([]byte{3, 1, 2, 255, 11, 22, 33, 44, 55, 66, 77, 88, 99, 0})
+	f.Add([]byte{1, 8, 4, 0, 0, 7, 7, 7, 0, 9, 9, 0})
+	f.Add([]byte{2, 2, 1, 128, 0, 3, 6, 9, 12, 0, 3, 6, 9, 12, 0, 0})
+	f.Add([]byte{4, 32, 16, 64, 1, 255, 254, 253, 1, 2, 3, 0, 255, 1, 0})
+	f.Add([]byte{3, 1, 2, 255, 3, 11, 22, 33, 44, 55, 66, 77, 88, 99, 0})
+	f.Add([]byte{2, 8, 2, 0, 2, 10, 9, 10, 9, 10, 9, 10, 0, 10, 9, 0})
 
 	f.Fuzz(func(t *testing.T, data []byte) {
-		if len(data) < 5 {
+		if len(data) < 6 {
 			t.Skip()
 		}
 		minRatio := float64(data[3]) / 255 * 0.8
@@ -45,11 +51,17 @@ func FuzzServeAdmission(f *testing.F) {
 			WaveBudget: float64(1+int(data[2])%16) * 1000,
 			MinRatio:   minRatio,
 		}
+		if v := data[4]; v != 0 {
+			cfg.PriorityAt = 0.5 + float64(int(v)%5)/10
+			if cfg.QueueLimit < 2 {
+				cfg.QueueLimit = 2 // the lane needs a slot on each side
+			}
+		}
 		s, err := New(cfg)
 		if err != nil {
 			t.Fatal(err)
 		}
-		ops := data[4:]
+		ops := data[5:]
 		if len(ops) > 1024 {
 			ops = ops[:1024]
 		}
@@ -61,6 +73,7 @@ func FuzzServeAdmission(f *testing.F) {
 		}
 		var tks []accepted
 		attempted, rejected := 0, 0
+		acceptedPrio := int64(0)
 		for _, v := range ops {
 			if v == 0 {
 				if rep := s.RunWave(); rep.NextRatio < minRatio-1e-9 {
@@ -78,15 +91,34 @@ func FuzzServeAdmission(f *testing.F) {
 			if hasDeg {
 				req.Degraded = func() {}
 			}
+			prio := cfg.PriorityAt > 0 && req.Significance >= cfg.PriorityAt
+			laneDepth, laneLimit := laneState(s, prio)
 			attempted++
 			tk, err := s.Submit(req)
 			if err != nil {
 				rejected++
+				// Lane conservation: a rejection is legal only when the
+				// request's own lane was full — the other lane's backlog must
+				// never bleed into this one's slots. (The sweep may have freed
+				// expired slots first; no deadlines here, so depth is exact.)
+				if laneDepth < laneLimit {
+					t.Fatalf("lane (prio=%v) rejected at depth %d of %d slots", prio, laneDepth, laneLimit)
+				}
 				continue
 			}
+			if prio {
+				acceptedPrio++
+			}
 			tks = append(tks, accepted{tk: tk, acc: req.CostAccurate, deg: req.CostDegraded, hasDeg: hasDeg})
-			if d := s.Depth(); d > cfg.QueueLimit {
-				t.Fatalf("queue depth %d above limit %d", d, cfg.QueueLimit)
+			bulkD, prioD := s.LaneDepths()
+			if bulkD+prioD > cfg.QueueLimit {
+				t.Fatalf("queue depth %d above limit %d", bulkD+prioD, cfg.QueueLimit)
+			}
+			if _, bl := laneState(s, false); bulkD > bl {
+				t.Fatalf("bulk lane depth %d above its %d slots", bulkD, bl)
+			}
+			if _, pl := laneState(s, true); cfg.PriorityAt > 0 && prioD > pl {
+				t.Fatalf("priority lane depth %d above its %d slots", prioD, pl)
 			}
 		}
 		if err := s.Close(); err != nil {
@@ -131,6 +163,9 @@ func FuzzServeAdmission(f *testing.F) {
 		if tot.Rejected != int64(rejected) {
 			t.Fatalf("rejected total %d, want %d", tot.Rejected, rejected)
 		}
+		if tot.Priority != acceptedPrio {
+			t.Fatalf("Totals.Priority %d, want %d premium requests accepted", tot.Priority, acceptedPrio)
+		}
 		rep := s.Energy()
 		want := rep.ActiveWatts * wantCost * 1e-9
 		if math.Abs(rep.Joules-want) > 1e-9*(1+math.Abs(want)) {
@@ -138,4 +173,13 @@ func FuzzServeAdmission(f *testing.F) {
 				rep.Joules, want)
 		}
 	})
+}
+
+// laneState reads one lane's current depth and slot share.
+func laneState(s *Server, prio bool) (depth, limit int) {
+	bulkD, prioD := s.LaneDepths()
+	if prio {
+		return prioD, s.cfg.PrioritySlice
+	}
+	return bulkD, s.bulkLimit
 }

@@ -26,6 +26,54 @@ const serveSlabSize = 64
 // without bound.
 const serveTraceCap = 1024
 
+// Admission lanes. laneOf maps a pending's lane flag onto the per-lane
+// accounting index (the latency histograms, the metrics labels).
+const (
+	laneBulk     = 0
+	lanePriority = 1
+	laneCount    = 2
+)
+
+func laneOf(prio bool) int {
+	if prio {
+		return lanePriority
+	}
+	return laneBulk
+}
+
+// waveLatBuckets are the wave-latency histogram's upper bounds, in waves —
+// the deterministic latency unit of the wave-driven serving layer. A
+// request served by the wave after its arrival has latency 1.
+var waveLatBuckets = [...]int64{1, 2, 4, 8, 16, 32}
+
+// latHist is one lane's wave-latency histogram: lock-free single-bucket
+// increments at ticket resolution, cumulated only at export time
+// (Prometheus buckets are cumulative). Tolerating torn cross-bucket reads
+// during a scrape keeps the record path at two uncontended atomic adds.
+type latHist struct {
+	buckets [len(waveLatBuckets) + 1]atomic.Int64 // last bucket: +Inf
+	sum     atomic.Int64
+}
+
+func (h *latHist) record(waves int64) {
+	i := 0
+	for i < len(waveLatBuckets) && waves > waveLatBuckets[i] {
+		i++
+	}
+	h.buckets[i].Add(1)
+	h.sum.Add(waves)
+}
+
+// snapshot returns the cumulative bucket counts plus the total count and
+// latency sum, in Prometheus histogram form.
+func (h *latHist) snapshot() (cum [len(waveLatBuckets) + 1]int64, count, sum int64) {
+	for i := range h.buckets {
+		count += h.buckets[i].Load()
+		cum[i] = count
+	}
+	return cum, count, h.sum.Load()
+}
+
 // closedChan is the pre-closed channel Done returns once a pooled Ticket's
 // wave completed and its lazily-created channel (if any) has been retired.
 var closedChan = func() chan struct{} {

@@ -1,0 +1,81 @@
+package serve
+
+import (
+	"fmt"
+	"io"
+	"strconv"
+)
+
+// WriteMetrics renders the server's state in the Prometheus text exposition
+// format (version 0.0.4): cumulative serving counters, the controller's
+// ratio and load signal against the live-fleet budget, per-lane queue
+// depths and limits, and the per-lane wave-latency histogram (latency in
+// waves — the serving layer's deterministic latency unit). cmd/sigserve
+// mounts it at /metrics; anything that can write an io.Writer can scrape a
+// Server directly. Counters are read atomically one by one — a scrape
+// concurrent with a wave may be torn across metrics, which Prometheus
+// counters tolerate by design.
+func (s *Server) WriteMetrics(w io.Writer) error {
+	tot := s.Totals()
+	bulk, prio := s.LaneDepths()
+	live := 1
+	if s.fleet != nil {
+		live = s.fleet.Live()
+	}
+
+	mf := func(name, typ, help string) {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n", name, help, name, typ)
+	}
+
+	mf("sigserve_submitted_total", "counter", "Requests offered to Submit.")
+	fmt.Fprintf(w, "sigserve_submitted_total %d\n", tot.Submitted)
+	mf("sigserve_rejected_total", "counter", "Requests rejected at admission (queue full, closed, pre-expired).")
+	fmt.Fprintf(w, "sigserve_rejected_total %d\n", tot.Rejected)
+	mf("sigserve_completed_total", "counter", "Admitted requests resolved, by outcome.")
+	fmt.Fprintf(w, "sigserve_completed_total{outcome=\"accurate\"} %d\n", tot.Accurate)
+	fmt.Fprintf(w, "sigserve_completed_total{outcome=\"degraded\"} %d\n", tot.Degraded)
+	fmt.Fprintf(w, "sigserve_completed_total{outcome=\"dropped\"} %d\n", tot.Dropped)
+	fmt.Fprintf(w, "sigserve_completed_total{outcome=\"timedout\"} %d\n", tot.Completed-tot.Accurate-tot.Degraded-tot.Dropped)
+	mf("sigserve_priority_completed_total", "counter", "Completed requests that came through the priority lane.")
+	fmt.Fprintf(w, "sigserve_priority_completed_total %d\n", tot.Priority)
+	mf("sigserve_waves_total", "counter", "Serving waves run.")
+	fmt.Fprintf(w, "sigserve_waves_total %d\n", tot.Waves)
+	mf("sigserve_joules_total", "counter", "Modeled energy spent, in joules.")
+	fmt.Fprintf(w, "sigserve_joules_total %s\n", fmtFloat(tot.Joules))
+
+	mf("sigserve_ratio", "gauge", "The admission controller's current accuracy ratio.")
+	fmt.Fprintf(w, "sigserve_ratio %s\n", fmtFloat(s.Ratio()))
+	mf("sigserve_load", "gauge", "Last wave's measured load signal (demand+backlog over capacity).")
+	fmt.Fprintf(w, "sigserve_load %s\n", fmtFloat(s.Load()))
+	mf("sigserve_target_load", "gauge", "The load cap the admission controller regulates to.")
+	fmt.Fprintf(w, "sigserve_target_load %s\n", fmtFloat(s.cfg.TargetLoad))
+	mf("sigserve_wave_budget", "gauge", "Modeled per-wave capacity, rebuilt from the live fleet each wave.")
+	fmt.Fprintf(w, "sigserve_wave_budget %s\n", fmtFloat(s.Budget()))
+	mf("sigserve_live_shards", "gauge", "Live shards behind the server (1 in solo mode).")
+	fmt.Fprintf(w, "sigserve_live_shards %d\n", live)
+
+	mf("sigserve_queue_depth", "gauge", "Admission queue depth, per lane.")
+	fmt.Fprintf(w, "sigserve_queue_depth{lane=\"bulk\"} %d\n", bulk)
+	fmt.Fprintf(w, "sigserve_queue_depth{lane=\"priority\"} %d\n", prio)
+	mf("sigserve_queue_limit", "gauge", "Admission queue slots, per lane.")
+	fmt.Fprintf(w, "sigserve_queue_limit{lane=\"bulk\"} %d\n", s.bulkLimit)
+	fmt.Fprintf(w, "sigserve_queue_limit{lane=\"priority\"} %d\n", s.cfg.PrioritySlice)
+
+	mf("sigserve_wave_latency_waves", "histogram", "Request latency from admission to resolution, in waves, per lane.")
+	for lane, name := range [laneCount]string{laneBulk: "bulk", lanePriority: "priority"} {
+		cum, count, sum := s.lat[lane].snapshot()
+		for i, le := range waveLatBuckets {
+			fmt.Fprintf(w, "sigserve_wave_latency_waves_bucket{lane=%q,le=\"%d\"} %d\n", name, le, cum[i])
+		}
+		fmt.Fprintf(w, "sigserve_wave_latency_waves_bucket{lane=%q,le=\"+Inf\"} %d\n", name, count)
+		fmt.Fprintf(w, "sigserve_wave_latency_waves_sum{lane=%q} %d\n", name, sum)
+		fmt.Fprintf(w, "sigserve_wave_latency_waves_count{lane=%q} %d\n", name, count)
+	}
+	return nil
+}
+
+// fmtFloat renders a float the way Prometheus clients do: shortest
+// round-trip representation, no exponent for common magnitudes.
+func fmtFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}

@@ -94,6 +94,9 @@ const (
 	// DefaultRequestCost is the admission estimate (in cost units, ~1ns)
 	// for requests that declare no accurate cost.
 	DefaultRequestCost = 100_000
+	// DefaultQualityWindow is the averaging horizon, in waves, of the
+	// windowed quality floor when QualityFloor is set without a window.
+	DefaultQualityWindow = 16
 )
 
 // Request is one unit of service traffic.
@@ -206,8 +209,22 @@ type Config struct {
 	// Group names the serving task group (default "serve").
 	Group string
 	// QueueLimit bounds the admission queue; Submit returns ErrQueueFull
-	// beyond it (default DefaultQueueLimit).
+	// beyond it (default DefaultQueueLimit). With a priority lane enabled,
+	// PrioritySlice of the limit is the priority lane's own and the bulk
+	// FIFO keeps the remainder.
 	QueueLimit int
+	// PriorityAt, when in (0,1], enables the priority admission lane:
+	// requests with Significance at or above it queue in a second lane
+	// that each wave drains ahead of the bulk FIFO — premium tiers bypass
+	// the backlog. The lane owns its PrioritySlice of the queue limit
+	// outright, so bulk traffic can never starve premium admission, and
+	// it has its own depth/latency accounting (WaveReport.PriorityDepth,
+	// the per-lane wave-latency histogram in WriteMetrics).
+	PriorityAt float64
+	// PrioritySlice is the number of queue slots reserved for the priority
+	// lane (default QueueLimit/4, min 1; must leave at least one bulk
+	// slot). Only meaningful with PriorityAt > 0.
+	PrioritySlice int
 	// WaveBudget is the modeled work (cost units, ~1ns) admitted per wave
 	// — the server's modeled capacity. Default: resolved workers ×
 	// WavePeriod in nanoseconds.
@@ -223,6 +240,15 @@ type Config struct {
 	// MinRatio floors the admission controller's ratio — the service's
 	// quality contract. 0 allows full degradation.
 	MinRatio float64
+	// QualityFloor, when positive, holds the serving quality SLO as a
+	// long-run average instead of (or on top of) the per-wave MinRatio:
+	// the mean provided ratio over the last QualityWindow waves stays at
+	// or above QualityFloor (adapt.WindowFloor). Individual waves may
+	// still dip below it during transients — the window absorbs them.
+	QualityFloor float64
+	// QualityWindow is the floor's averaging horizon in waves (default
+	// DefaultQualityWindow; requires QualityFloor > 0).
+	QualityWindow int
 	// EnergyBudget, when positive, additionally caps modeled joules per
 	// wave (power capping): the load signal takes the max of the demand
 	// term and joules/EnergyBudget.
@@ -240,6 +266,15 @@ type Config struct {
 	// shards. Requires Shards ≥ 2; AutoScale.MaxShards (default 2×Shards)
 	// sets the router's slot capacity.
 	AutoScale *shard.AutoscalerConfig
+	// WaveTimeout and HealthProbe switch on the shard fleet's health
+	// machinery (they forward to shard.Config; both require Shards ≥ 2):
+	// a shard that overruns the wave cut or fails the probe is struck
+	// live → suspect → quarantined and, at the drain threshold,
+	// auto-drained out of the fleet. The wave budget tracks the live
+	// shard count whether or not an autoscaler is configured — capacity
+	// follows the fleet, not the config.
+	WaveTimeout time.Duration
+	HealthProbe func(shard int) error
 }
 
 func (c Config) withDefaults(workers int) Config {
@@ -264,13 +299,20 @@ func (c Config) withDefaults(workers int) Config {
 	if c.DefaultCost <= 0 {
 		c.DefaultCost = DefaultRequestCost
 	}
+	if c.PriorityAt > 0 && c.PrioritySlice == 0 {
+		c.PrioritySlice = max(c.QueueLimit/4, 1)
+	}
+	if c.QualityFloor > 0 && c.QualityWindow == 0 {
+		c.QualityWindow = DefaultQualityWindow
+	}
 	return c
 }
 
-// pending is one queued request.
+// pending is one queued request; prio marks which admission lane holds it.
 type pending struct {
-	req Request
-	tk  *Ticket
+	req  Request
+	tk   *Ticket
+	prio bool
 }
 
 // costSums aggregates declared request costs so the load signal is O(1) in
@@ -297,6 +339,11 @@ type WaveReport struct {
 	Degraded int
 	Dropped  int
 	TimedOut int
+	// PriorityAdmitted is how many of Admitted came through the priority
+	// lane; PriorityDepth is that lane's post-admission depth (Depth spans
+	// both lanes). Zero without a configured lane.
+	PriorityAdmitted int
+	PriorityDepth    int
 	// LiveShards is the live fleet size after this wave's autoscaling
 	// decision (1 in solo mode, the shard count when not autoscaled).
 	LiveShards int
@@ -309,8 +356,11 @@ type WaveReport struct {
 	NextRatio float64
 	Provided  float64
 	// Load is the signal the admission controller regulated this wave
-	// (demand+backlog over capacity, see package doc).
-	Load float64
+	// (demand+backlog over capacity, see package doc); Budget is the
+	// modeled per-wave capacity it was priced against, rebuilt from the
+	// live fleet at every wave boundary.
+	Load   float64
+	Budget float64
 	// Joules is the wave's modeled energy.
 	Joules float64
 	// Stats is the underlying wave telemetry.
@@ -329,6 +379,9 @@ type Totals struct {
 	// at Submit plus queued requests resolved OutcomeTimedOut. The former
 	// are also counted in Rejected, the latter in Completed.
 	TimedOut int64
+	// Priority counts completed requests that were admitted through the
+	// priority lane (whatever their outcome); they are also in Completed.
+	Priority int64
 	Waves    int64
 	Joules   float64
 }
@@ -356,13 +409,24 @@ type Server struct {
 	waveMu  sync.Mutex
 	stopped bool // engine closed; RunWave becomes a no-op (guarded by waveMu)
 
-	mu       sync.Mutex
-	queue    []*pending
-	qCost    costSums // declared costs of the queued backlog
-	arrCost  costSums // declared costs of arrivals since the last wave
-	budget   float64  // current wave budget (WaveBudget, rescaled by autoscaling)
-	closed   bool
-	lastLoad float64
+	mu        sync.Mutex
+	queue     []*pending // bulk FIFO lane
+	prio      []*pending // priority lane (PriorityAt), drained ahead of the FIFO
+	qCost     costSums   // declared costs of the bulk backlog
+	pCost     costSums   // declared costs of the priority backlog
+	arrCost   costSums   // declared costs of arrivals since the last wave (both lanes)
+	deadlined int        // queued requests (both lanes) carrying a deadline
+	budget    float64    // current wave budget (WaveBudget, rescaled to the live fleet)
+	closed    bool
+	lastLoad  float64
+
+	// bulkLimit is the bulk lane's share of QueueLimit (all of it without
+	// a priority lane); the priority lane owns cfg.PrioritySlice slots.
+	bulkLimit int
+
+	// lat is the per-lane wave-latency histogram (laneBulk/lanePriority)
+	// behind WriteMetrics; recorded at every ticket resolution.
+	lat [2]latHist
 
 	// Per-wave hot-path state, touched only under waveMu (see hotpath.go):
 	// admit's reused batch buffer, the cost-class slab registry, the classes
@@ -384,7 +448,7 @@ type Server struct {
 	tot  struct {
 		submitted, rejected, completed atomic.Int64
 		accurate, degraded, dropped    atomic.Int64
-		timedout                       atomic.Int64
+		timedout, priority             atomic.Int64
 		joules                         atomic.Uint64 // math.Float64bits
 	}
 
@@ -407,6 +471,24 @@ func New(cfg Config) (*Server, error) {
 	if cfg.AutoScale != nil && cfg.Shards < 2 {
 		return nil, fmt.Errorf("serve: AutoScale requires Shards >= 2 (got %d)", cfg.Shards)
 	}
+	if (cfg.WaveTimeout != 0 || cfg.HealthProbe != nil) && cfg.Shards < 2 {
+		return nil, fmt.Errorf("serve: WaveTimeout/HealthProbe require Shards >= 2 (got %d)", cfg.Shards)
+	}
+	if cfg.PriorityAt < 0 || cfg.PriorityAt > 1 {
+		return nil, fmt.Errorf("serve: PriorityAt %v outside [0,1]", cfg.PriorityAt)
+	}
+	if cfg.PrioritySlice != 0 && cfg.PriorityAt == 0 {
+		return nil, fmt.Errorf("serve: PrioritySlice %d without PriorityAt", cfg.PrioritySlice)
+	}
+	if cfg.QualityFloor < 0 || cfg.QualityFloor > 1 {
+		return nil, fmt.Errorf("serve: QualityFloor %v outside [0,1]", cfg.QualityFloor)
+	}
+	if cfg.QualityWindow != 0 && cfg.QualityFloor == 0 {
+		return nil, fmt.Errorf("serve: QualityWindow %d without QualityFloor", cfg.QualityWindow)
+	}
+	if cfg.QualityWindow < 0 {
+		return nil, fmt.Errorf("serve: negative QualityWindow %d", cfg.QualityWindow)
+	}
 	workers := cfg.Workers
 	if workers == 0 {
 		workers = runtime.GOMAXPROCS(0)
@@ -418,19 +500,31 @@ func New(cfg Config) (*Server, error) {
 	if cfg.Policy == 0 {
 		cfg.Policy = sig.PolicyGTBMaxBuffer
 	}
+	if cfg.PriorityAt > 0 && (cfg.PrioritySlice < 1 || cfg.PrioritySlice >= cfg.QueueLimit) {
+		return nil, fmt.Errorf("serve: PrioritySlice %d outside [1,%d)", cfg.PrioritySlice, cfg.QueueLimit)
+	}
 
 	s := &Server{cfg: cfg, closeDone: make(chan struct{})}
 	s.budget = cfg.WaveBudget
 	s.budgetPerShard = cfg.WaveBudget / float64(max(cfg.Shards, 1))
+	s.bulkLimit = cfg.QueueLimit
+	if cfg.PriorityAt > 0 {
+		s.bulkLimit = cfg.QueueLimit - cfg.PrioritySlice
+	}
+	var wf *adapt.WindowFloor
+	if cfg.QualityFloor > 0 {
+		wf = &adapt.WindowFloor{Window: cfg.QualityWindow, Floor: cfg.QualityFloor}
+	}
 	var err error
 	s.ctl, err = adapt.New(adapt.Config{
-		Group:     cfg.Group,
-		Objective: adapt.TargetLoad,
-		Budget:    cfg.TargetLoad,
-		Measure:   s.measure,
-		Min:       cfg.MinRatio,
-		Max:       1,
-		TraceCap:  serveTraceCap,
+		Group:       cfg.Group,
+		Objective:   adapt.TargetLoad,
+		Budget:      cfg.TargetLoad,
+		Measure:     s.measure,
+		Min:         cfg.MinRatio,
+		Max:         1,
+		TraceCap:    serveTraceCap,
+		WindowFloor: wf,
 	})
 	if err != nil {
 		return nil, err
@@ -446,10 +540,12 @@ func New(cfg Config) (*Server, error) {
 			}
 		}
 		r, err := shard.New(shard.Config{
-			Shards:    cfg.Shards,
-			MaxShards: slots,
-			Runtime:   sig.Config{Workers: cfg.Workers, Policy: cfg.Policy},
-			OnWave:    func(g *shard.Group, ws sig.WaveStats) { s.ctl.Observe(g, ws) },
+			Shards:      cfg.Shards,
+			MaxShards:   slots,
+			Runtime:     sig.Config{Workers: cfg.Workers, Policy: cfg.Policy},
+			WaveTimeout: cfg.WaveTimeout,
+			HealthProbe: cfg.HealthProbe,
+			OnWave:      func(g *shard.Group, ws sig.WaveStats) { s.ctl.Observe(g, ws) },
 		})
 		if err != nil {
 			return nil, err
@@ -482,11 +578,34 @@ func New(cfg Config) (*Server, error) {
 // Ratio returns the admission controller's current accuracy ratio.
 func (s *Server) Ratio() float64 { return s.eng.Ratio() }
 
-// Depth returns the current admission-queue depth.
+// Depth returns the current admission-queue depth across both lanes.
 func (s *Server) Depth() int {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	return len(s.queue)
+	return len(s.queue) + len(s.prio)
+}
+
+// LaneDepths returns the per-lane queue depths (prio is 0 without a
+// configured priority lane).
+func (s *Server) LaneDepths() (bulk, prio int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.queue), len(s.prio)
+}
+
+// Load returns the last wave's measured load signal.
+func (s *Server) Load() float64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.lastLoad
+}
+
+// Budget returns the current modeled per-wave capacity — WaveBudget
+// rescaled to the live shard count in sharded mode.
+func (s *Server) Budget() float64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.budget
 }
 
 // Totals returns the cumulative serving counters.
@@ -499,6 +618,7 @@ func (s *Server) Totals() Totals {
 		Degraded:  s.tot.degraded.Load(),
 		Dropped:   s.tot.dropped.Load(),
 		TimedOut:  s.tot.timedout.Load(),
+		Priority:  s.tot.priority.Load(),
 		Waves:     s.wave.Load(),
 		Joules:    math.Float64frombits(s.tot.joules.Load()),
 	}
@@ -552,10 +672,12 @@ func (s *Server) Submit(req Request) (*Ticket, error) {
 		return nil, ErrDeadlineExpired
 	}
 	s.tot.submitted.Add(1)
+	prio := s.cfg.PriorityAt > 0 && req.Significance >= s.cfg.PriorityAt
 	tk := getTicket(now.UnixNano())
 	p := getPending()
 	p.req = req
 	p.tk = tk
+	p.prio = prio
 	s.mu.Lock()
 	if s.closed {
 		s.mu.Unlock()
@@ -564,10 +686,27 @@ func (s *Server) Submit(req Request) (*Ticket, error) {
 		discardTicket(tk)
 		return nil, ErrClosed
 	}
-	if len(s.queue) >= s.cfg.QueueLimit {
-		// Price the backoff hint while the lock still pins the backlog: the
-		// modeled waves to drain the queue at the current ratio and budget.
-		backlog, budget := s.qCost, s.budget
+	lane, limit := &s.queue, s.bulkLimit
+	if prio {
+		lane, limit = &s.prio, s.cfg.PrioritySlice
+	}
+	if len(*lane) >= limit && s.deadlined > 0 {
+		// Before rejecting, sweep queued requests whose deadline has
+		// already passed: an expired request deeper in the backlog must
+		// not hold a slot against live traffic.
+		s.reapExpiredLocked(now)
+	}
+	if len(*lane) >= limit {
+		// Price the backoff hint while the lock still pins the backlog:
+		// the modeled waves to drain the work ahead of this request's lane
+		// at the current ratio and budget. The priority lane drains first,
+		// so bulk rejections price both lanes; priority rejections price
+		// the priority backlog alone.
+		backlog := s.pCost
+		if !prio {
+			backlog.add(s.qCost)
+		}
+		budget := s.budget
 		s.mu.Unlock()
 		s.tot.rejected.Add(1)
 		putPending(p)
@@ -583,11 +722,62 @@ func (s *Server) Submit(req Request) (*Ticket, error) {
 	}
 	tk.enqWave.Store(s.wave.Load())
 	c := s.reqCosts(&req)
-	s.qCost.add(c)
+	if prio {
+		s.pCost.add(c)
+	} else {
+		s.qCost.add(c)
+	}
 	s.arrCost.add(c)
-	s.queue = append(s.queue, p)
+	if !req.Deadline.IsZero() {
+		s.deadlined++
+	}
+	*lane = append(*lane, p)
 	s.mu.Unlock()
 	return tk, nil
+}
+
+// reapExpiredLocked sweeps both lanes for queued requests whose deadline
+// has passed and resolves them OutcomeTimedOut on the spot — queue slot
+// and cost share freed, ticket completed, counters updated. It is the
+// queue-full Submit path's side of the expiry bugfix; admit runs the same
+// sweep at every wave boundary. Caller holds s.mu.
+func (s *Server) reapExpiredLocked(now time.Time) {
+	nowNs := now.UnixNano()
+	wave := s.wave.Load()
+	var reaped, reapedPrio int64
+	for _, ln := range [...]struct {
+		q    *[]*pending
+		cost *costSums
+	}{{&s.prio, &s.pCost}, {&s.queue, &s.qCost}} {
+		kept := (*ln.q)[:0]
+		for _, p := range *ln.q {
+			if p.req.Deadline.IsZero() || !now.After(p.req.Deadline) {
+				kept = append(kept, p)
+				continue
+			}
+			ln.cost.sub(s.reqCosts(&p.req))
+			s.deadlined--
+			tk := p.tk
+			tk.outcome.Store(int32(OutcomeTimedOut))
+			tk.complete(wave, nowNs)
+			s.lat[laneOf(p.prio)].record(wave - tk.enqWave.Load() + 1)
+			if p.prio {
+				reapedPrio++
+			}
+			tk.release()
+			putPending(p)
+			reaped++
+		}
+		for i := len(kept); i < len(*ln.q); i++ {
+			(*ln.q)[i] = nil
+		}
+		*ln.q = kept
+	}
+	if reaped > 0 {
+		s.tot.completed.Add(reaped)
+		s.tot.timedout.Add(reaped)
+		s.tot.priority.Add(reapedPrio)
+	}
 }
 
 // measure is the admission controller's load signal, evaluated at the wave
@@ -600,6 +790,7 @@ func (s *Server) Submit(req Request) (*Ticket, error) {
 func (s *Server) measure(ws sig.WaveStats) float64 {
 	s.mu.Lock()
 	arr, backlog, budget := s.arrCost, s.qCost, s.budget
+	backlog.add(s.pCost)   // both lanes drain from the same capacity
 	s.arrCost = costSums{} // next wave accounts fresh arrivals only
 	s.mu.Unlock()
 	r := ws.RequestedRatio
@@ -613,15 +804,17 @@ func (s *Server) measure(ws sig.WaveStats) float64 {
 	return load
 }
 
-// admit pops the next wave's worth of requests: FIFO, while the expected
-// modeled cost at the current ratio fits the wave budget (always at least
-// one when the queue is non-empty, so a single oversized request cannot
-// wedge the queue). Requests whose Deadline expired while queued are
-// skimmed into the waveExpired buffer instead — they consume no budget and
-// RunWave resolves them OutcomeTimedOut. The returned batch is the server's
-// reused wavePending buffer (valid until the next admit); the remainder
-// compacts to the front of the queue's backing array, so steady-state waves
-// neither grow nor churn it.
+// admit pops the next wave's worth of requests: the priority lane first,
+// then the bulk FIFO, while the expected modeled cost at the current ratio
+// fits the wave budget (always at least one when anything is queued, so a
+// single oversized request cannot wedge the queue). Before popping, BOTH
+// lanes are swept end to end for requests whose Deadline expired while
+// queued — they are moved to the waveExpired buffer (no budget consumed;
+// RunWave resolves them OutcomeTimedOut), so an expired request can never
+// hold a queue slot or keep its cost in the backlog sums, however deep it
+// sits. The returned batch is the server's reused wavePending buffer
+// (valid until the next admit); lane remainders compact to the front of
+// their backing arrays, so steady-state waves neither grow nor churn them.
 func (s *Server) admit() []*pending {
 	now := time.Now()
 	s.mu.Lock()
@@ -629,35 +822,66 @@ func (s *Server) admit() []*pending {
 	ratio := s.eng.Ratio()
 	batch := s.wavePending[:0]
 	s.waveExpired = s.waveExpired[:0]
+	if s.deadlined > 0 {
+		s.sweepLaneLocked(&s.prio, &s.pCost, now)
+		s.sweepLaneLocked(&s.queue, &s.qCost, now)
+	}
 	var cost float64
-	n := 0
-	for n < len(s.queue) {
-		p := s.queue[n]
-		c := s.reqCosts(&p.req)
+	batch, cost = s.popLaneLocked(batch, &s.prio, &s.pCost, ratio, cost, s.cfg.PrioritySlice)
+	batch, _ = s.popLaneLocked(batch, &s.queue, &s.qCost, ratio, cost, s.cfg.QueueLimit)
+	s.wavePending = batch
+	return batch
+}
+
+// sweepLaneLocked moves every deadline-expired request of one lane into
+// waveExpired, releasing its cost share and compacting the lane in place.
+// Caller holds s.mu.
+func (s *Server) sweepLaneLocked(q *[]*pending, cs *costSums, now time.Time) {
+	kept := (*q)[:0]
+	for _, p := range *q {
 		if !p.req.Deadline.IsZero() && now.After(p.req.Deadline) {
+			cs.sub(s.reqCosts(&p.req))
+			s.deadlined--
 			s.waveExpired = append(s.waveExpired, p)
-			s.qCost.sub(c)
-			n++
 			continue
 		}
+		kept = append(kept, p)
+	}
+	for i := len(kept); i < len(*q); i++ {
+		(*q)[i] = nil
+	}
+	*q = kept
+}
+
+// popLaneLocked pops one lane FIFO into batch while the running cost fits
+// the budget (admitting at least one request overall), returning the grown
+// batch and cost. limit sizes the lane's backing-array release heuristic.
+// Caller holds s.mu.
+func (s *Server) popLaneLocked(batch []*pending, q *[]*pending, cs *costSums, ratio, cost float64, limit int) ([]*pending, float64) {
+	n := 0
+	for n < len(*q) {
+		p := (*q)[n]
+		c := s.reqCosts(&p.req)
 		if len(batch) > 0 && cost+c.at(ratio) > s.budget {
 			break
 		}
 		batch = append(batch, p)
 		cost += c.at(ratio)
-		s.qCost.sub(c)
+		cs.sub(c)
+		if !p.req.Deadline.IsZero() {
+			s.deadlined--
+		}
 		n++
 	}
 	if n > 0 {
-		rem := copy(s.queue, s.queue[n:])
-		clear(s.queue[rem:])
-		s.queue = s.queue[:rem]
+		rem := copy(*q, (*q)[n:])
+		clear((*q)[rem:])
+		*q = (*q)[:rem]
 	}
-	if len(s.queue) == 0 && cap(s.queue) > max(64, s.cfg.QueueLimit/8) {
-		s.queue = nil // release a burst-grown backing array once it drains
+	if len(*q) == 0 && cap(*q) > max(64, limit/8) {
+		*q = nil // release a burst-grown backing array once it drains
 	}
-	s.wavePending = batch
-	return batch
+	return batch, cost
 }
 
 // RunWave executes one serving wave: admit a budget's worth of queued
@@ -691,10 +915,15 @@ func (s *Server) RunWave() WaveReport {
 	// Resolve the deadline casualties admit skimmed: outcome, completion
 	// edge, ticket release — everything a served request gets, except a
 	// body run or a joule.
+	priority := 0
 	for i, p := range s.waveExpired {
 		tk := p.tk
 		tk.outcome.Store(int32(OutcomeTimedOut))
 		tk.complete(wave, nowNs)
+		s.lat[laneOf(p.prio)].record(wave - tk.enqWave.Load() + 1)
+		if p.prio {
+			priority++
+		}
 		tk.release()
 		putPending(p)
 		s.waveExpired[i] = nil
@@ -704,6 +933,11 @@ func (s *Server) RunWave() WaveReport {
 	for i, p := range batch {
 		tk := p.tk
 		tk.complete(wave, nowNs)
+		s.lat[laneOf(p.prio)].record(wave - tk.enqWave.Load() + 1)
+		if p.prio {
+			rep.PriorityAdmitted++
+			priority++
+		}
 		// Read the outcome before dropping the server's reference: after
 		// release the ticket may already be recycled by a concurrent Submit.
 		switch Outcome(tk.outcome.Load()) {
@@ -724,6 +958,7 @@ func (s *Server) RunWave() WaveReport {
 	s.tot.degraded.Add(int64(rep.Degraded))
 	s.tot.dropped.Add(int64(rep.Dropped))
 	s.tot.timedout.Add(int64(rep.TimedOut))
+	s.tot.priority.Add(int64(priority))
 	for {
 		old := s.tot.joules.Load()
 		if s.tot.joules.CompareAndSwap(old, math.Float64bits(math.Float64frombits(old)+ws.Joules)) {
@@ -732,7 +967,8 @@ func (s *Server) RunWave() WaveReport {
 	}
 
 	s.mu.Lock()
-	rep.Depth = len(s.queue)
+	rep.Depth = len(s.queue) + len(s.prio)
+	rep.PriorityDepth = len(s.prio)
 	rep.Load = s.lastLoad
 	s.mu.Unlock()
 	rep.LiveShards = 1
@@ -740,15 +976,20 @@ func (s *Server) RunWave() WaveReport {
 		if s.scaler != nil {
 			// The scaler sees the same load signal the admission controller
 			// just regulated; a drain here runs against an idle fleet (the
-			// wave's taskwait completed above). Capacity follows the fleet:
-			// the wave budget is rebuilt from the live shard count.
+			// wave's taskwait completed above).
 			s.scaler.Observe(rep.Load)
-			s.mu.Lock()
-			s.budget = s.budgetPerShard * float64(s.fleet.Live())
-			s.mu.Unlock()
 		}
+		// Capacity follows the fleet, however it changed: autoscaler
+		// actions AND health auto-drains (DrainAfter) shrink or grow the
+		// live count, and the wave budget — hence the load signal's
+		// denominator — must track it either way. (Rebuilding only under
+		// a scaler left the budget overstated after a watchdog drain.)
 		rep.LiveShards = s.fleet.Live()
+		s.mu.Lock()
+		s.budget = s.budgetPerShard * float64(rep.LiveShards)
+		s.mu.Unlock()
 	}
+	rep.Budget = s.Budget()
 	rep.NextRatio = s.eng.Ratio()
 	rep.Provided = ws.ProvidedRatio
 	rep.Joules = ws.Joules
