@@ -1,18 +1,31 @@
 GO ?= go
 
-.PHONY: test vet race bench fuzz fuzz-serve fuzz-shard fuzz-chaos chaos bench-adapt serve-study slo-study bench-shard bench-multicore bench-fleet
+# The staticcheck version is pinned once, in tools/go.mod; everything else
+# (this Makefile, CI) greps it from there.
+STATICCHECK_VERSION := $(shell grep -o 'staticcheck [0-9][0-9A-Za-z.]*' tools/go.mod | cut -d' ' -f2)
+
+.PHONY: test vet lint race bench fuzz fuzz-serve fuzz-shard fuzz-chaos chaos bench-adapt serve-study slo-study bench-shard bench-multicore bench-fleet
 
 # -shuffle=on randomizes test order within each package so order-dependent
 # tests cannot hide behind file order; CI runs the same way.
 test:
 	$(GO) build ./... && $(GO) test -shuffle=on ./...
 
-# Static analysis: go vet always; staticcheck when installed (CI installs a
-# pinned version — see .github/workflows/ci.yml).
+# Static analysis: go vet always; staticcheck when installed (pinned in
+# tools/go.mod; CI installs that exact version). `vet` works without
+# siglint — `lint` is the full suite.
 vet:
 	$(GO) vet ./...
 	@if command -v staticcheck >/dev/null 2>&1; then staticcheck ./...; \
-	else echo "staticcheck not installed; skipping (go install honnef.co/go/tools/cmd/staticcheck@2024.1.1)"; fi
+	else echo "staticcheck not installed; skipping (go install honnef.co/go/tools/cmd/staticcheck@$(STATICCHECK_VERSION))"; fi
+
+# Full static suite: everything `vet` runs, plus the repo's own analyzers
+# (cmd/siglint) proving the runtime's invariants — replay determinism,
+# atomic-field discipline, pool get/put pairing, noalloc hot paths.
+lint: vet
+	$(GO) build -o siglint.bin ./cmd/siglint
+	$(GO) vet -vettool=$$(pwd)/siglint.bin ./...
+	@rm -f siglint.bin
 
 race:
 	$(GO) test -race -shuffle=on ./...

@@ -1,0 +1,126 @@
+// Package atomicfield enforces all-or-nothing atomicity on struct fields:
+// a field that is accessed through sync/atomic anywhere in the package
+// must be accessed through sync/atomic everywhere in the package.
+//
+// Mixed plain/atomic access is the bug class the race detector only finds
+// under lucky interleavings — a plain read of an atomically-incremented
+// counter is racy on every weakly-ordered machine, but -race must watch
+// the two accesses actually collide to say so. Statically the property is
+// trivial: collect every field whose address flows into an
+// atomic.{Load,Store,Add,Swap,CompareAndSwap}*, then reject any other
+// (non-atomic) use of the same field.
+//
+// Fields of the atomic.* wrapper types (atomic.Int64 and friends) are safe
+// by construction — their only access surface is atomic methods — which is
+// why the repo's runtime structs prefer them. This analyzer covers the
+// remaining raw-word idiom, and the seam between the two: code migrating a
+// counter to atomic.Int64 that leaves one plain `x.n++` behind.
+//
+// A deliberate plain access (e.g. in a constructor before the value is
+// shared, or under a lock that orders all writers) opts out per line with
+// //siglint:nonatomic <why>.
+package atomicfield
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"repro/internal/analysis"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "atomicfield",
+	Doc:  "a struct field accessed via sync/atomic anywhere must be accessed atomically everywhere",
+	Run:  run,
+}
+
+func run(pass *analysis.Pass) error {
+	// Pass 1: fields whose address is taken by a sync/atomic call, and the
+	// selector nodes that constitute those sanctioned accesses.
+	atomicFields := make(map[*types.Var]string) // field -> example call, e.g. "atomic.AddInt64"
+	sanctioned := make(map[*ast.SelectorExpr]bool)
+	for _, f := range pass.Files {
+		if pass.IsTestFile(f.Pos()) {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn := analysis.FuncObj(pass.TypesInfo, call)
+			if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "sync/atomic" || !isAtomicOp(fn.Name()) {
+				return true
+			}
+			for _, arg := range call.Args {
+				un, ok := ast.Unparen(arg).(*ast.UnaryExpr)
+				if !ok || un.Op.String() != "&" {
+					continue
+				}
+				sel, ok := ast.Unparen(un.X).(*ast.SelectorExpr)
+				if !ok {
+					continue
+				}
+				if fld := fieldOf(pass, sel); fld != nil {
+					if _, seen := atomicFields[fld]; !seen {
+						atomicFields[fld] = "atomic." + fn.Name()
+					}
+					sanctioned[sel] = true
+				}
+			}
+			return true
+		})
+	}
+	if len(atomicFields) == 0 {
+		return nil
+	}
+	// Pass 2: any other use of those fields is a plain access.
+	for _, f := range pass.Files {
+		if pass.IsTestFile(f.Pos()) {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok || sanctioned[sel] {
+				return true
+			}
+			fld := fieldOf(pass, sel)
+			if fld == nil {
+				return true
+			}
+			op, isAtomic := atomicFields[fld]
+			if !isAtomic {
+				return true
+			}
+			if pass.OptOut(sel.Pos(), nil, "nonatomic") {
+				return true
+			}
+			pass.Reportf(sel.Pos(), "plain access to field %s, which is accessed atomically elsewhere (%s); mixed access races under weak memory ordering (//siglint:nonatomic <why> if provably unshared here)", fld.Name(), op)
+			return true
+		})
+	}
+	return nil
+}
+
+// isAtomicOp reports whether name is one of sync/atomic's operation
+// functions (as opposed to a type or helper).
+func isAtomicOp(name string) bool {
+	for _, p := range []string{"Load", "Store", "Add", "And", "Or", "Swap", "CompareAndSwap"} {
+		if strings.HasPrefix(name, p) {
+			return true
+		}
+	}
+	return false
+}
+
+// fieldOf resolves a selector to the struct field it reads or writes, or
+// nil when it selects something else (method, package member, ...).
+func fieldOf(pass *analysis.Pass, sel *ast.SelectorExpr) *types.Var {
+	if s, ok := pass.TypesInfo.Selections[sel]; ok && s.Kind() == types.FieldVal {
+		if v, ok := s.Obj().(*types.Var); ok {
+			return v
+		}
+	}
+	return nil
+}

@@ -1,0 +1,12 @@
+package atomicfield_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analyzertest"
+	"repro/internal/analysis/atomicfield"
+)
+
+func TestAtomicField(t *testing.T) {
+	analyzertest.Run(t, "testdata", atomicfield.Analyzer, "af")
+}

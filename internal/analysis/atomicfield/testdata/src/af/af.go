@@ -1,0 +1,46 @@
+// Package af exercises the atomicfield analyzer: a field whose address
+// flows into sync/atomic anywhere must be accessed atomically everywhere.
+package af
+
+import "sync/atomic"
+
+type counter struct {
+	n    int64 // atomic
+	hits int64 // atomic
+	cold int64 // plain everywhere: fine
+}
+
+func (c *counter) inc() {
+	atomic.AddInt64(&c.n, 1)
+	atomic.StoreInt64(&c.hits, 0)
+}
+
+// read is the acceptance case: a plain read of an atomically-written
+// counter.
+func (c *counter) read() int64 {
+	return c.n // want `plain access to field n`
+}
+
+func (c *counter) reset() {
+	c.hits = 0 // want `plain access to field hits`
+}
+
+func (c *counter) sanctioned() int64 {
+	return atomic.LoadInt64(&c.n)
+}
+
+func newCounter(start int64) *counter {
+	c := &counter{}
+	//siglint:nonatomic constructor-local; c has not been shared yet
+	c.n = start
+	return c
+}
+
+func (c *counter) onlyPlain() int64 {
+	return c.cold
+}
+
+func (c *counter) bare() {
+	//siglint:nonatomic
+	c.n = 1 // want `needs a justification`
+}

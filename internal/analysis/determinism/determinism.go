@@ -1,0 +1,145 @@
+// Package determinism rejects nondeterminism in replay-deterministic
+// packages: wall-clock reads, the unseeded global math/rand source, and
+// map iteration that feeds an ordering- or accumulation-sensitive sink.
+//
+// The suite's target packages promise bit-identical replay: the same
+// submission stream must produce the same decisions, the same merged
+// modeled energy and the same emitted orderings at any worker or shard
+// count — the repo's reproduction of the paper's determinism claim, and
+// the property the cross-shard invariant suite replays at runtime. This
+// analyzer proves the *inputs* to those decisions are deterministic on
+// every path, not only the paths a test executes.
+//
+// A package opts in with //siglint:deterministic in its package doc.
+// Within such a package (test files excluded):
+//
+//   - time.Now / time.Since / time.Until are reported unless annotated
+//     //siglint:wallclock <why> (line- or func-level): watchdog and
+//     latency-measurement code legitimately reads clocks, but must say so
+//     where a reviewer can audit it.
+//   - Calls to math/rand's (and math/rand/v2's) package-level functions
+//     are reported: they draw from the shared, unseeded source. Explicit
+//     sources (rand.New(rand.NewSource(seed))) are fine — that is what
+//     "seeded, replayable" chaos schedules use.
+//   - `for ... range m` over a map is reported when its body feeds an
+//     order-sensitive sink — appends to a slice, sends on a channel, or
+//     accumulates floating point (where summation order changes the bits)
+//     — unless annotated //siglint:maporder <why>. Integer accumulation
+//     and pure lookups are order-insensitive and pass.
+package determinism
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"repro/internal/analysis"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "determinism",
+	Doc:  "forbid wall-clock, unseeded rand and order-sensitive map iteration in replay-deterministic packages",
+	Run:  run,
+}
+
+var clockFuncs = map[string]bool{"Now": true, "Since": true, "Until": true}
+
+func run(pass *analysis.Pass) error {
+	if !pass.Dirs.Package("deterministic") {
+		return nil
+	}
+	for _, f := range pass.Files {
+		if pass.IsTestFile(f.Pos()) {
+			continue
+		}
+		for _, decl := range f.Decls {
+			fd, _ := decl.(*ast.FuncDecl)
+			ast.Inspect(decl, func(n ast.Node) bool {
+				switch n := n.(type) {
+				case *ast.CallExpr:
+					checkCall(pass, fd, n)
+				case *ast.RangeStmt:
+					checkRange(pass, fd, n)
+				}
+				return true
+			})
+		}
+	}
+	return nil
+}
+
+func checkCall(pass *analysis.Pass, fd *ast.FuncDecl, call *ast.CallExpr) {
+	fn := analysis.FuncObj(pass.TypesInfo, call)
+	if fn == nil || fn.Pkg() == nil {
+		return
+	}
+	sig, _ := fn.Type().(*types.Signature)
+	isPkgLevel := sig != nil && sig.Recv() == nil
+	switch fn.Pkg().Path() {
+	case "time":
+		if isPkgLevel && clockFuncs[fn.Name()] {
+			if !pass.OptOut(call.Pos(), fd, "wallclock") {
+				pass.Reportf(call.Pos(), "wall-clock read time.%s in replay-deterministic package (annotate //siglint:wallclock <why> if this cannot feed a decision)", fn.Name())
+			}
+		}
+	case "math/rand", "math/rand/v2":
+		// Package-level functions draw from the global source; explicit
+		// constructors (New, NewSource, NewPCG, NewChaCha8, NewZipf) build
+		// seeded ones and are the supported spelling.
+		if isPkgLevel && !strings.HasPrefix(fn.Name(), "New") {
+			pass.Reportf(call.Pos(), "%s.%s uses the unseeded global source in replay-deterministic package (use rand.New(rand.NewSource(seed)))", fn.Pkg().Name(), fn.Name())
+		}
+	}
+}
+
+// checkRange flags map iteration feeding an order-sensitive sink.
+func checkRange(pass *analysis.Pass, fd *ast.FuncDecl, rs *ast.RangeStmt) {
+	tv, ok := pass.TypesInfo.Types[rs.X]
+	if !ok {
+		return
+	}
+	if _, isMap := tv.Type.Underlying().(*types.Map); !isMap {
+		return
+	}
+	sink := findSink(pass, rs.Body)
+	if sink == "" {
+		return
+	}
+	if pass.OptOut(rs.Pos(), nil, "maporder") {
+		return
+	}
+	pass.Reportf(rs.Pos(), "map iteration feeds %s in replay-deterministic package; map order is random per run (iterate a sorted key slice, or annotate //siglint:maporder <why>)", sink)
+}
+
+// findSink reports the first order-sensitive sink in a map-range body:
+// appends, channel sends, or floating-point accumulation.
+func findSink(pass *analysis.Pass, body *ast.BlockStmt) string {
+	sink := ""
+	ast.Inspect(body, func(n ast.Node) bool {
+		if sink != "" {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			if id, ok := ast.Unparen(n.Fun).(*ast.Ident); ok && id.Name == "append" {
+				if _, isBuiltin := pass.TypesInfo.Uses[id].(*types.Builtin); isBuiltin {
+					sink = "an append (emitted ordering)"
+				}
+			}
+		case *ast.SendStmt:
+			sink = "a channel send (emitted ordering)"
+		case *ast.AssignStmt:
+			switch n.Tok {
+			case token.ADD_ASSIGN, token.SUB_ASSIGN, token.MUL_ASSIGN, token.QUO_ASSIGN:
+				if t := pass.TypesInfo.TypeOf(n.Lhs[0]); t != nil {
+					if b, ok := t.Underlying().(*types.Basic); ok && b.Info()&types.IsFloat != 0 {
+						sink = "floating-point accumulation (summation order changes the bits)"
+					}
+				}
+			}
+		}
+		return sink == ""
+	})
+	return sink
+}

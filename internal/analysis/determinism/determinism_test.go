@@ -1,0 +1,17 @@
+package determinism_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analyzertest"
+	"repro/internal/analysis/determinism"
+)
+
+func TestDeterminism(t *testing.T) {
+	analyzertest.Run(t, "testdata", determinism.Analyzer, "det")
+}
+
+// TestNotOptedIn: without //siglint:deterministic the analyzer is silent.
+func TestNotOptedIn(t *testing.T) {
+	analyzertest.Run(t, "testdata", determinism.Analyzer, "detoff")
+}

@@ -1,0 +1,78 @@
+// Package det exercises the determinism analyzer: wall-clock reads,
+// global-source rand and order-sensitive map iteration are rejected in a
+// package that declares itself replay-deterministic.
+//
+//siglint:deterministic
+package det
+
+import (
+	"math/rand"
+	"time"
+)
+
+func clocks() time.Duration {
+	t0 := time.Now()      // want `wall-clock read time.Now`
+	return time.Since(t0) // want `wall-clock read time.Since`
+}
+
+func clockLineOptOut() time.Time {
+	return time.Now() //siglint:wallclock watchdog arm only, never feeds a decision
+}
+
+// clockFuncOptOut reads the clock for latency measurement.
+//
+//siglint:wallclock latency histogram input, excluded from replay state
+func clockFuncOptOut() time.Duration {
+	return time.Since(time.Now())
+}
+
+//siglint:wallclock
+func clockBareOptOut() time.Time {
+	return time.Now() // want `needs a justification`
+}
+
+var rng = rand.New(rand.NewSource(42))
+
+func draws() int {
+	a := rand.Intn(8) // want `rand.Intn uses the unseeded global source`
+	return a + rng.Intn(8)
+}
+
+func emit(m map[string]int) []string {
+	var keys []string
+	for k := range m { // want `map iteration feeds an append`
+		keys = append(keys, k)
+	}
+	return keys
+}
+
+func stream(m map[string]int, ch chan string) {
+	for k := range m { // want `map iteration feeds a channel send`
+		ch <- k
+	}
+}
+
+func energy(m map[string]float64) float64 {
+	e := 0.0
+	for _, v := range m { // want `floating-point accumulation`
+		e += v
+	}
+	return e
+}
+
+// total accumulates integers: order-insensitive, allowed.
+func total(m map[string]int) int {
+	n := 0
+	for _, v := range m {
+		n += v
+	}
+	return n
+}
+
+func emitOrdered(m map[string]int, out []string) []string {
+	//siglint:maporder caller re-sorts before emission; order never observed
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}

@@ -1,0 +1,16 @@
+// Package detoff has no //siglint:deterministic directive: the analyzer
+// must stay silent however nondeterministic the code is.
+package detoff
+
+import (
+	"math/rand"
+	"time"
+)
+
+func free(m map[string]int) ([]string, time.Time, int) {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k)
+	}
+	return keys, time.Now(), rand.Intn(8)
+}

@@ -1,0 +1,239 @@
+// Package driver runs a suite of analysis.Analyzers in the two modes
+// cmd/siglint supports:
+//
+//   - As a vet tool (`go vet -vettool=siglint ./...`): the go command
+//     invokes the binary once per package with a JSON .cfg file describing
+//     the sources and the export data of every dependency — the
+//     "unitchecker" wire protocol of x/tools, reimplemented here on the
+//     stdlib gc importer. This is the CI/Makefile entry point: it gets the
+//     go command's build cache (clean packages are not re-analyzed) and its
+//     package graph (test variants included) for free.
+//
+//   - Standalone (`siglint ./...`): the binary shells out to
+//     `go list -export -deps -json` and analyzes every main-module package
+//     in one process. Handy during development, and what produces the
+//     finding list without a vet wrapper.
+//
+// Both modes feed the same per-package analyze step; diagnostics print as
+// "file:line:col: message [siglint/<analyzer>]" on stderr and a non-zero
+// exit reports findings (1) or operational failure (2).
+package driver
+
+import (
+	"crypto/sha256"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"runtime"
+	"sort"
+	"strings"
+
+	"repro/internal/analysis"
+)
+
+// Main runs the suite and exits. See the package comment for the modes.
+func Main(analyzers ...*analysis.Analyzer) {
+	os.Exit(Run(os.Args[1:], analyzers))
+}
+
+// Run dispatches on the argument shape; it returns the process exit code.
+func Run(args []string, analyzers []*analysis.Analyzer) int {
+	for _, a := range args {
+		switch {
+		case a == "-V=full" || a == "--V=full":
+			// The go command hashes the tool's identity into its build
+			// cache key via this handshake; content-hash the binary so a
+			// rebuilt siglint invalidates cached vet results.
+			return printVersion()
+		case a == "-flags" || a == "--flags":
+			// The go command asks which analyzer flags the tool accepts
+			// before forwarding any; siglint keeps its configuration in
+			// source directives instead, so: none.
+			fmt.Println("[]")
+			return 0
+		case a == "help" || a == "-h" || a == "--help":
+			usage(analyzers)
+			return 0
+		}
+	}
+	if len(args) == 1 && strings.HasSuffix(args[0], ".cfg") {
+		return unitcheck(args[0], analyzers)
+	}
+	if len(args) == 0 {
+		usage(analyzers)
+		return 2
+	}
+	return standalone(args, analyzers)
+}
+
+func printVersion() int {
+	exe, err := os.Executable()
+	if err != nil {
+		exe = os.Args[0]
+	}
+	h := sha256.New()
+	if f, err := os.Open(exe); err == nil {
+		_, _ = io.Copy(h, f)
+		f.Close()
+	}
+	fmt.Printf("%s version devel comments-go-here buildID=%02x\n", exe, h.Sum(nil))
+	return 0
+}
+
+func usage(analyzers []*analysis.Analyzer) {
+	fmt.Fprintf(os.Stderr, "siglint proves this repo's runtime invariants at compile time.\n\n")
+	fmt.Fprintf(os.Stderr, "usage:\n  go vet -vettool=$(command -v siglint || echo ./siglint.bin) ./...\n  siglint <packages>\n\nanalyzers:\n")
+	for _, a := range analyzers {
+		fmt.Fprintf(os.Stderr, "  %-12s %s\n", a.Name, strings.Split(a.Doc, "\n")[0])
+	}
+}
+
+// vetConfig mirrors the JSON the go command writes next to each package it
+// vets (cmd/go/internal/work's vetConfig). Fields the suite does not need
+// are omitted; unknown JSON fields are ignored by encoding/json anyway.
+type vetConfig struct {
+	ID                        string
+	Compiler                  string
+	Dir                       string
+	ImportPath                string
+	GoFiles                   []string
+	NonGoFiles                []string
+	ImportMap                 map[string]string
+	PackageFile               map[string]string
+	VetxOnly                  bool
+	VetxOutput                string
+	GoVersion                 string
+	SucceedOnTypecheckFailure bool
+}
+
+func unitcheck(cfgFile string, analyzers []*analysis.Analyzer) int {
+	data, err := os.ReadFile(cfgFile)
+	if err != nil {
+		return fail(err)
+	}
+	var cfg vetConfig
+	if err := json.Unmarshal(data, &cfg); err != nil {
+		return fail(fmt.Errorf("parsing %s: %v", cfgFile, err))
+	}
+	// The suite is fact-free, but the protocol requires the facts file to
+	// exist for the go command to cache and chain the result.
+	if cfg.VetxOutput != "" {
+		if err := os.WriteFile(cfg.VetxOutput, []byte{}, 0o666); err != nil {
+			return fail(err)
+		}
+	}
+	if cfg.VetxOnly {
+		// Dependency-only visit: nothing to report, facts written, done.
+		return 0
+	}
+	fset := token.NewFileSet()
+	files, err := parseFiles(fset, cfg.GoFiles)
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			return 0
+		}
+		return fail(err)
+	}
+	lookup := func(path string) (io.ReadCloser, error) {
+		if mapped, ok := cfg.ImportMap[path]; ok {
+			path = mapped
+		}
+		file, ok := cfg.PackageFile[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(file)
+	}
+	diags, err := analyze(fset, files, cfg.ImportPath, cfg.GoVersion, lookup, analyzers)
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			return 0
+		}
+		return fail(err)
+	}
+	return print(fset, diags)
+}
+
+// parseFiles parses sources with comments (directives live there).
+func parseFiles(fset *token.FileSet, names []string) ([]*ast.File, error) {
+	var files []*ast.File
+	for _, name := range names {
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	return files, nil
+}
+
+// analyze typechecks one package against its dependencies' export data and
+// runs every analyzer over it.
+func analyze(fset *token.FileSet, files []*ast.File, path, goVersion string, lookup func(string) (io.ReadCloser, error), analyzers []*analysis.Analyzer) ([]analysis.Diagnostic, error) {
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Scopes:     make(map[ast.Node]*types.Scope),
+	}
+	tc := &types.Config{
+		Importer:  importer.ForCompiler(fset, "gc", lookup),
+		GoVersion: goVersion,
+		Sizes:     types.SizesFor("gc", envOr("GOARCH", runtime.GOARCH)),
+	}
+	pkg, err := tc.Check(path, fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("typechecking %s: %v", path, err)
+	}
+	return RunAnalyzers(fset, files, pkg, info, analyzers), nil
+}
+
+// RunAnalyzers applies the suite to one already-typechecked package and
+// returns its diagnostics sorted by position. Shared by the drivers and
+// the analyzertest harness.
+func RunAnalyzers(fset *token.FileSet, files []*ast.File, pkg *types.Package, info *types.Info, analyzers []*analysis.Analyzer) []analysis.Diagnostic {
+	var diags []analysis.Diagnostic
+	for _, a := range analyzers {
+		pass := analysis.NewPass(a, fset, files, pkg, info, func(d analysis.Diagnostic) {
+			diags = append(diags, d)
+		})
+		if err := a.Run(pass); err != nil {
+			diags = append(diags, analysis.Diagnostic{
+				Pos:      files[0].Pos(),
+				Message:  fmt.Sprintf("analyzer failed: %v", err),
+				Analyzer: a.Name,
+			})
+		}
+	}
+	sort.SliceStable(diags, func(i, j int) bool { return diags[i].Pos < diags[j].Pos })
+	return diags
+}
+
+func print(fset *token.FileSet, diags []analysis.Diagnostic) int {
+	for _, d := range diags {
+		fmt.Fprintf(os.Stderr, "%s: %s [siglint/%s]\n", fset.Position(d.Pos), d.Message, d.Analyzer)
+	}
+	if len(diags) > 0 {
+		return 1
+	}
+	return 0
+}
+
+func fail(err error) int {
+	fmt.Fprintln(os.Stderr, "siglint:", err)
+	return 2
+}
+
+func envOr(key, fallback string) string {
+	if v := os.Getenv(key); v != "" {
+		return v
+	}
+	return fallback
+}

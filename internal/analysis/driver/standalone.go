@@ -1,0 +1,90 @@
+package driver
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/token"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+
+	"repro/internal/analysis"
+)
+
+// listPkg is the subset of `go list -json` output the standalone loader
+// needs: sources for the packages under analysis, export data for their
+// dependency closure.
+type listPkg struct {
+	ImportPath string
+	Dir        string
+	Export     string
+	GoFiles    []string
+	DepOnly    bool
+	Standard   bool
+	Incomplete bool
+}
+
+// standalone loads the named patterns with `go list -export -deps -json`
+// and analyzes every non-dependency package in one process. `-export`
+// makes the go command (re)compile whatever is stale and hand back the
+// cached export data files the gc importer resolves imports from — the
+// same files the vet-tool mode receives via its .cfg, minus the test
+// variants (use the vet-tool mode, `make lint`, for full coverage).
+func standalone(patterns []string, analyzers []*analysis.Analyzer) int {
+	args := append([]string{"list", "-e", "-export", "-deps", "-json=ImportPath,Dir,Export,GoFiles,DepOnly,Standard,Incomplete"}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Stderr = os.Stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return fail(fmt.Errorf("go list: %v", err))
+	}
+	exports := make(map[string]string) // import path -> export data file
+	var targets []listPkg
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for {
+		var p listPkg
+		if err := dec.Decode(&p); err == io.EOF {
+			break
+		} else if err != nil {
+			return fail(fmt.Errorf("go list output: %v", err))
+		}
+		if p.Export != "" {
+			exports[p.ImportPath] = p.Export
+		}
+		if !p.DepOnly && !p.Standard {
+			targets = append(targets, p)
+		}
+	}
+	lookup := func(path string) (io.ReadCloser, error) {
+		file, ok := exports[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(file)
+	}
+	exit := 0
+	fset := token.NewFileSet()
+	for _, p := range targets {
+		if p.Incomplete || len(p.GoFiles) == 0 {
+			continue
+		}
+		var names []string
+		for _, f := range p.GoFiles {
+			names = append(names, filepath.Join(p.Dir, f))
+		}
+		files, err := parseFiles(fset, names)
+		if err != nil {
+			return fail(err)
+		}
+		diags, err := analyze(fset, files, p.ImportPath, "", lookup, analyzers)
+		if err != nil {
+			return fail(err)
+		}
+		if code := print(fset, diags); code > exit {
+			exit = code
+		}
+	}
+	return exit
+}

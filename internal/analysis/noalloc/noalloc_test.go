@@ -1,0 +1,12 @@
+package noalloc_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analyzertest"
+	"repro/internal/analysis/noalloc"
+)
+
+func TestNoAlloc(t *testing.T) {
+	analyzertest.Run(t, "testdata", noalloc.Analyzer, "na")
+}

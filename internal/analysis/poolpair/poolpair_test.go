@@ -1,0 +1,12 @@
+package poolpair_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analyzertest"
+	"repro/internal/analysis/poolpair"
+)
+
+func TestPoolPair(t *testing.T) {
+	analyzertest.Run(t, "testdata", poolpair.Analyzer, "pp")
+}

@@ -29,6 +29,8 @@
 //		app.SubmitFrame(rt, grp, out)
 //		ws := rt.WaitPhase(grp) // controller retunes grp's ratio here
 //	}
+//
+//siglint:deterministic
 package adapt
 
 import (

@@ -18,6 +18,8 @@
 // rolling-replace chaos test drains and rejoins every shard in sequence
 // under sustained overload and asserts zero lost tasks, merged energy
 // bit-identical to a single-runtime golden, and bounded recovery.
+//
+//siglint:deterministic
 package chaos
 
 import (

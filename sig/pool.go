@@ -30,15 +30,21 @@ type taskPools struct {
 }
 
 // getDispatch returns an empty dispatch scratch slice.
+//
+//siglint:poolget
+//siglint:noalloc
 func (p *taskPools) getDispatch() *[]*Task {
 	if v := p.dispatch.Get(); v != nil {
 		return v.(*[]*Task)
 	}
-	s := make([]*Task, 0, 4*slabSize)
+	s := make([]*Task, 0, 4*slabSize) //siglint:allocok pool miss: first draw builds the scratch the pool then recycles
 	return &s
 }
 
 // putDispatch recycles a dispatch scratch after clearing its task pointers.
+//
+//siglint:poolput
+//siglint:noalloc
 func (p *taskPools) putDispatch(s *[]*Task) {
 	clear(*s)
 	*s = (*s)[:0]
@@ -46,20 +52,26 @@ func (p *taskPools) putDispatch(s *[]*Task) {
 }
 
 // get returns a reset single task ready for Submit to fill.
+//
+//siglint:poolget
+//siglint:noalloc
 func (p *taskPools) get() *Task {
 	if v := p.single.Get(); v != nil {
 		return v.(*Task)
 	}
-	return &Task{}
+	return &Task{} //siglint:allocok pool miss: steady state always hits the pool
 }
 
 // getSlab returns a slab ready to hand out n tasks.
+//
+//siglint:poolget
+//siglint:noalloc
 func (p *taskPools) getSlab(n int) *taskSlab {
 	var s *taskSlab
 	if v := p.slabs.Get(); v != nil {
 		s = v.(*taskSlab)
 	} else {
-		s = new(taskSlab)
+		s = new(taskSlab) //siglint:allocok pool miss: steady state always hits the pool
 	}
 	s.n = int32(n)
 	s.done.Store(0)
@@ -68,6 +80,9 @@ func (p *taskPools) getSlab(n int) *taskSlab {
 
 // release recycles a completed task onto whichever path produced it. The
 // task must not be touched afterwards.
+//
+//siglint:poolput
+//siglint:noalloc
 func (p *taskPools) release(t *Task) {
 	if s := t.slab; s != nil {
 		// Read n BEFORE publishing our completion: until our Add lands
@@ -85,6 +100,8 @@ func (p *taskPools) release(t *Task) {
 }
 
 // reset clears a task for reuse, keeping the footprint slices' capacity.
+//
+//siglint:noalloc
 func (t *Task) reset() {
 	ins, outs := t.ins[:0], t.outs[:0]
 	*t = Task{}

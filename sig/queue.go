@@ -36,6 +36,8 @@ func newRing(capacity int) *ring {
 func (r *ring) empty() bool { return r.tail.Load() == r.head.Load() }
 
 // push appends one task; it reports false when the ring is full.
+//
+//siglint:noalloc
 func (r *ring) push(t *Task) bool {
 	r.mu.Lock()
 	tail := r.tail.Load()
@@ -51,6 +53,8 @@ func (r *ring) push(t *Task) bool {
 
 // pushN appends a prefix of ts bounded by the free space and returns how
 // many were enqueued, preserving ts order. One lock covers the whole chunk.
+//
+//siglint:noalloc
 func (r *ring) pushN(ts []*Task) int {
 	r.mu.Lock()
 	tail := r.tail.Load()
@@ -122,6 +126,8 @@ func newSched(workers, queueCap int) *sched {
 
 // tryPush offers t to the shard selected by its sequence number, spilling to
 // the other rings when the preferred one is full.
+//
+//siglint:noalloc
 func (s *sched) tryPush(t *Task) bool {
 	n := len(s.rings)
 	start := int(t.Seq) % n
@@ -135,6 +141,8 @@ func (s *sched) tryPush(t *Task) bool {
 
 // enqueue places t on some ring, blocking on the backpressure condition when
 // every ring is full. It never holds a lock while blocked.
+//
+//siglint:noalloc
 func (s *sched) enqueue(t *Task) {
 	if s.tryPush(t) {
 		s.wakeOne()
@@ -154,6 +162,8 @@ func (s *sched) enqueue(t *Task) {
 // across rings so one lock acquisition covers many tasks. Order within the
 // batch is preserved per chunk and chunks are enqueued in order, keeping the
 // dispatch order of a policy flush FIFO (exactly FIFO with one worker).
+//
+//siglint:noalloc
 func (s *sched) enqueueBatch(ts []*Task) {
 	n := len(s.rings)
 	shard := 0
@@ -184,6 +194,8 @@ func (s *sched) enqueueBatch(ts []*Task) {
 }
 
 // wakeOne hands one wake token to the parked pool, if anyone is parked.
+//
+//siglint:noalloc
 func (s *sched) wakeOne() {
 	if s.parked.Load() > 0 {
 		select {
@@ -194,6 +206,8 @@ func (s *sched) wakeOne() {
 }
 
 // wakeAll hands up to n wake tokens out.
+//
+//siglint:noalloc
 func (s *sched) wakeAll(n int) {
 	p := int(s.parked.Load())
 	if p < n {
@@ -211,6 +225,8 @@ func (s *sched) wakeAll(n int) {
 // signalSpace lets blocked submitters retry after space was freed. The lock
 // is taken around Broadcast so a waiter between its failed push and its Wait
 // (it holds spaceMu throughout) cannot miss the signal.
+//
+//siglint:noalloc
 func (s *sched) signalSpace() {
 	if s.spaceWaiters.Load() == 0 {
 		return

@@ -34,6 +34,7 @@ const (
 	laneCount    = 2
 )
 
+//siglint:noalloc
 func laneOf(prio bool) int {
 	if prio {
 		return lanePriority
@@ -55,6 +56,7 @@ type latHist struct {
 	sum     atomic.Int64
 }
 
+//siglint:noalloc
 func (h *latHist) record(waves int64) {
 	i := 0
 	for i < len(waveLatBuckets) && waves > waveLatBuckets[i] {
@@ -157,6 +159,8 @@ func (tk *Ticket) Release() { tk.release() }
 
 // release drops one reference; the last one resets the Ticket and recycles
 // it.
+//
+//siglint:noalloc
 func (tk *Ticket) release() {
 	if tk.refs.Add(-1) != 0 {
 		return
@@ -174,6 +178,8 @@ func (tk *Ticket) release() {
 // complete publishes the wave resolution: latency metadata first, then the
 // done edge (flag + channel close) under mu so Done's lazy channel cannot
 // miss the close.
+//
+//siglint:noalloc
 func (tk *Ticket) complete(wave, nowNs int64) {
 	tk.doneWave.Store(wave)
 	tk.finishedNs.Store(nowNs)
@@ -194,10 +200,13 @@ var (
 // getTicket draws a Ticket with both references (server + caller) live and
 // the outcome preset to Dropped — a request shed without running any body
 // needs no store at resolution time.
+//
+//siglint:poolget
+//siglint:noalloc
 func getTicket(nowNs int64) *Ticket {
 	tk, _ := ticketPool.Get().(*Ticket)
 	if tk == nil {
-		tk = &Ticket{}
+		tk = &Ticket{} //siglint:allocok pool miss: steady state always hits the pool
 	}
 	tk.refs.Store(2)
 	tk.outcome.Store(int32(OutcomeDropped))
@@ -207,21 +216,31 @@ func getTicket(nowNs int64) *Ticket {
 
 // discardTicket recycles a ticket that was never handed out (a rejected
 // Submit): both references are still ours.
+//
+//siglint:poolput
+//siglint:noalloc
 func discardTicket(tk *Ticket) {
 	tk.refs.Store(1)
 	tk.release()
 }
 
+// getPending draws a pending-request slot.
+//
+//siglint:poolget
+//siglint:noalloc
 func getPending() *pending {
 	p, _ := pendingPool.Get().(*pending)
 	if p == nil {
-		p = &pending{}
+		p = &pending{} //siglint:allocok pool miss: steady state always hits the pool
 	}
 	return p
 }
 
 // putPending recycles a pending after its wave, dropping the handler
 // closures and ticket reference.
+//
+//siglint:poolput
+//siglint:noalloc
 func putPending(p *pending) {
 	p.req = Request{}
 	p.tk = nil
@@ -301,21 +320,23 @@ func newWaveSlab(cs *classState) *waveSlab {
 // coalesce routes one admitted request into its cost class's current slab,
 // submitting the slab to the engine the moment it fills. Called from
 // RunWave under waveMu.
+//
+//siglint:noalloc
 func (s *Server) coalesce(p *pending) {
 	key := classKey{acc: p.req.CostAccurate, deg: p.req.CostDegraded, hasDeg: p.req.Degraded != nil}
 	cs := s.classes[key]
 	if cs == nil {
 		if s.classes == nil {
-			s.classes = make(map[classKey]*classState)
+			s.classes = make(map[classKey]*classState) //siglint:allocok first request of the first wave; the map is retained for the server's lifetime
 		}
-		cs = newClassState(key)
+		cs = newClassState(key) //siglint:allocok once per distinct cost class, not per request; classes are retained
 		s.classes[key] = cs
 	}
 	if cs.cur == nil {
 		cs.cur = cs.pool.Get().(*waveSlab)
 		if !cs.open {
 			cs.open = true
-			s.openClasses = append(s.openClasses, cs)
+			s.openClasses = append(s.openClasses, cs) //siglint:allocok amortized growth of the reused per-wave open-class list
 		}
 	}
 	sl := cs.cur
@@ -328,8 +349,8 @@ func (s *Server) coalesce(p *pending) {
 	sl.specs[i].Significance = sv
 	sl.n++
 	if sl.n == serveSlabSize {
-		s.eng.SubmitBatch(sl.specs[:sl.n])
-		s.waveSlabs = append(s.waveSlabs, sl)
+		s.eng.SubmitBatch(sl.specs[:sl.n])    //siglint:allocok engine boundary: sig's SubmitBatch amortizes into pooled slabs
+		s.waveSlabs = append(s.waveSlabs, sl) //siglint:allocok amortized growth of the reused per-wave slab list
 		cs.cur = nil
 	}
 }
@@ -337,12 +358,14 @@ func (s *Server) coalesce(p *pending) {
 // flushSlabs submits every class's partial slab, in class-first-seen order
 // (deterministic for a deterministic arrival order), and resets the
 // open-class list for the next wave.
+//
+//siglint:noalloc
 func (s *Server) flushSlabs() {
 	for i, cs := range s.openClasses {
 		if sl := cs.cur; sl != nil {
 			if sl.n > 0 {
-				s.eng.SubmitBatch(sl.specs[:sl.n])
-				s.waveSlabs = append(s.waveSlabs, sl)
+				s.eng.SubmitBatch(sl.specs[:sl.n])    //siglint:allocok engine boundary: sig's SubmitBatch amortizes into pooled slabs
+				s.waveSlabs = append(s.waveSlabs, sl) //siglint:allocok amortized growth of the reused per-wave slab list
 			} else {
 				cs.pool.Put(sl)
 			}
@@ -357,6 +380,8 @@ func (s *Server) flushSlabs() {
 // recycleSlabs returns the wave's submitted slabs to their class pools.
 // Callable only after WaitPhase: every task of the wave has completed, so
 // no prebuilt closure can still run against a cleared slot.
+//
+//siglint:noalloc
 func (s *Server) recycleSlabs() {
 	for i, sl := range s.waveSlabs {
 		for j := 0; j < sl.n; j++ {

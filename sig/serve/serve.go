@@ -322,8 +322,13 @@ type costSums struct {
 	deg float64 // Σ degraded cost (0 contribution for drop-only requests)
 }
 
-func (s *costSums) add(c costSums)      { s.acc += c.acc; s.deg += c.deg }
-func (s *costSums) sub(c costSums)      { s.acc -= c.acc; s.deg -= c.deg }
+//siglint:noalloc
+func (s *costSums) add(c costSums) { s.acc += c.acc; s.deg += c.deg }
+
+//siglint:noalloc
+func (s *costSums) sub(c costSums) { s.acc -= c.acc; s.deg -= c.deg }
+
+//siglint:noalloc
 func (s costSums) at(r float64) float64 { return r*s.acc + (1-r)*s.deg }
 
 // WaveReport is the telemetry of one serving wave.
@@ -633,6 +638,8 @@ func (s *Server) Fleet() *shard.Router { return s.fleet }
 // pacing default for undeclared accurate costs. Requests without a Degraded
 // handler contribute zero degraded cost: shedding them to approximate
 // execution skips them entirely.
+//
+//siglint:noalloc
 func (s *Server) reqCosts(req *Request) costSums {
 	c := costSums{acc: req.CostAccurate}
 	if c.acc <= 0 {
@@ -648,18 +655,20 @@ func (s *Server) reqCosts(req *Request) costSums {
 // the admission queue is at its limit (the request is shed) and ErrClosed
 // on a shut-down server; otherwise the Ticket tracks the request to
 // completion.
+//
+//siglint:noalloc
 func (s *Server) Submit(req Request) (*Ticket, error) {
 	if req.Handler == nil {
-		return nil, fmt.Errorf("serve: Submit with nil Handler")
+		return nil, fmt.Errorf("serve: Submit with nil Handler") //siglint:allocok rejected-request path; the caller has a bug to fix
 	}
 	if req.CostAccurate < 0 || req.CostDegraded < 0 {
-		return nil, fmt.Errorf("serve: negative request cost (%v/%v)", req.CostAccurate, req.CostDegraded)
+		return nil, fmt.Errorf("serve: negative request cost (%v/%v)", req.CostAccurate, req.CostDegraded) //siglint:allocok rejected-request path; the caller has a bug to fix
 	}
 	if req.CostAccurate == 0 && req.CostDegraded > 0 {
-		return nil, fmt.Errorf("serve: CostDegraded declared without CostAccurate")
+		return nil, fmt.Errorf("serve: CostDegraded declared without CostAccurate") //siglint:allocok rejected-request path; the caller has a bug to fix
 	}
 	if req.CostAccurate > 0 && req.Degraded != nil && req.CostDegraded == 0 {
-		return nil, fmt.Errorf("serve: request declares CostAccurate but not the Degraded handler's cost")
+		return nil, fmt.Errorf("serve: request declares CostAccurate but not the Degraded handler's cost") //siglint:allocok rejected-request path; the caller has a bug to fix
 	}
 	now := time.Now()
 	if !req.Deadline.IsZero() && now.After(req.Deadline) {
@@ -713,12 +722,12 @@ func (s *Server) Submit(req Request) (*Ticket, error) {
 		discardTicket(tk)
 		waves := 1.0
 		if budget > 0 {
-			waves = math.Ceil(backlog.at(s.eng.Ratio()) / budget)
+			waves = math.Ceil(backlog.at(s.eng.Ratio()) / budget) //siglint:allocok engine boundary: Ratio is an atomic read behind the interface
 			if waves < 1 {
 				waves = 1
 			}
 		}
-		return nil, &OverloadError{RetryAfter: time.Duration(waves) * s.cfg.WavePeriod}
+		return nil, &OverloadError{RetryAfter: time.Duration(waves) * s.cfg.WavePeriod} //siglint:allocok shed-request path: the structured retry hint costs one error object
 	}
 	tk.enqWave.Store(s.wave.Load())
 	c := s.reqCosts(&req)
@@ -731,7 +740,7 @@ func (s *Server) Submit(req Request) (*Ticket, error) {
 	if !req.Deadline.IsZero() {
 		s.deadlined++
 	}
-	*lane = append(*lane, p)
+	*lane = append(*lane, p) //siglint:allocok amortized growth of the retained lane backlog
 	s.mu.Unlock()
 	return tk, nil
 }
@@ -741,6 +750,8 @@ func (s *Server) Submit(req Request) (*Ticket, error) {
 // and cost share freed, ticket completed, counters updated. It is the
 // queue-full Submit path's side of the expiry bugfix; admit runs the same
 // sweep at every wave boundary. Caller holds s.mu.
+//
+//siglint:noalloc
 func (s *Server) reapExpiredLocked(now time.Time) {
 	nowNs := now.UnixNano()
 	wave := s.wave.Load()
@@ -752,7 +763,7 @@ func (s *Server) reapExpiredLocked(now time.Time) {
 		kept := (*ln.q)[:0]
 		for _, p := range *ln.q {
 			if p.req.Deadline.IsZero() || !now.After(p.req.Deadline) {
-				kept = append(kept, p)
+				kept = append(kept, p) //siglint:allocok re-slices the lane in place; kept shares its backing array
 				continue
 			}
 			ln.cost.sub(s.reqCosts(&p.req))
@@ -815,11 +826,13 @@ func (s *Server) measure(ws sig.WaveStats) float64 {
 // sits. The returned batch is the server's reused wavePending buffer
 // (valid until the next admit); lane remainders compact to the front of
 // their backing arrays, so steady-state waves neither grow nor churn them.
+//
+//siglint:noalloc
 func (s *Server) admit() []*pending {
 	now := time.Now()
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	ratio := s.eng.Ratio()
+	ratio := s.eng.Ratio() //siglint:allocok engine boundary: Ratio is an atomic read behind the interface
 	batch := s.wavePending[:0]
 	s.waveExpired = s.waveExpired[:0]
 	if s.deadlined > 0 {
@@ -836,16 +849,18 @@ func (s *Server) admit() []*pending {
 // sweepLaneLocked moves every deadline-expired request of one lane into
 // waveExpired, releasing its cost share and compacting the lane in place.
 // Caller holds s.mu.
+//
+//siglint:noalloc
 func (s *Server) sweepLaneLocked(q *[]*pending, cs *costSums, now time.Time) {
 	kept := (*q)[:0]
 	for _, p := range *q {
 		if !p.req.Deadline.IsZero() && now.After(p.req.Deadline) {
 			cs.sub(s.reqCosts(&p.req))
 			s.deadlined--
-			s.waveExpired = append(s.waveExpired, p)
+			s.waveExpired = append(s.waveExpired, p) //siglint:allocok amortized growth of the reused per-wave expired buffer
 			continue
 		}
-		kept = append(kept, p)
+		kept = append(kept, p) //siglint:allocok re-slices the lane in place; kept shares its backing array
 	}
 	for i := len(kept); i < len(*q); i++ {
 		(*q)[i] = nil
@@ -857,6 +872,8 @@ func (s *Server) sweepLaneLocked(q *[]*pending, cs *costSums, now time.Time) {
 // the budget (admitting at least one request overall), returning the grown
 // batch and cost. limit sizes the lane's backing-array release heuristic.
 // Caller holds s.mu.
+//
+//siglint:noalloc
 func (s *Server) popLaneLocked(batch []*pending, q *[]*pending, cs *costSums, ratio, cost float64, limit int) ([]*pending, float64) {
 	n := 0
 	for n < len(*q) {
@@ -865,7 +882,7 @@ func (s *Server) popLaneLocked(batch []*pending, q *[]*pending, cs *costSums, ra
 		if len(batch) > 0 && cost+c.at(ratio) > s.budget {
 			break
 		}
-		batch = append(batch, p)
+		batch = append(batch, p) //siglint:allocok amortized growth of the reused wavePending batch buffer
 		cost += c.at(ratio)
 		cs.sub(c)
 		if !p.req.Deadline.IsZero() {

@@ -30,6 +30,8 @@
 // an Autoscaler (autoscale.go) grows and shrinks the fleet between bounds
 // with hysteresis and cooldown. The chaos suite (chaos_test.go and
 // sig/chaos) holds all of it to "nothing lost, nothing double-counted".
+//
+//siglint:deterministic
 package shard
 
 import (

@@ -19,6 +19,12 @@
 // decided tasks are striped across per-worker bounded queues with work
 // stealing (see queue.go). Policies that need no serialization declare it
 // via LocklessSubmitter and bypass the per-group lock entirely.
+//
+// The package is replay-deterministic (same submissions, same decisions,
+// same modeled energy at any worker count) and siglint enforces the
+// inputs to that property:
+//
+//siglint:deterministic
 package sig
 
 import (
@@ -226,7 +232,7 @@ func New(cfg Config) (*Runtime, error) {
 		energy:  cfg.Energy.withDefaults(),
 		sched:   newSched(workers, queueCap),
 		groups:  make(map[string]*Group),
-		start:   time.Now(),
+		start:   time.Now(), //siglint:wallclock wall anchor for the idle split of Energy reports; never feeds a decision
 		clocks:  make([]clock, workers),
 	}
 	rt.wg.Add(workers)
@@ -296,6 +302,8 @@ func (rt *Runtime) defaultGroup() *Group {
 // stripes to drain, so every submission that passed this check fully reaches
 // its queue before the scheduler shuts down. It reports false on a closed
 // runtime so callers can release any pool-drawn resources before panicking.
+//
+//siglint:noalloc
 func (rt *Runtime) beginSubmit(seq uint64) (*inflightShard, bool) {
 	s := &rt.inflight[seq%inflightShards]
 	s.n.Add(1)
@@ -309,6 +317,8 @@ func (rt *Runtime) beginSubmit(seq uint64) (*inflightShard, bool) {
 // Submit schedules fn as a significance-annotated task. Options attach the
 // group label, the significance, an approximate body and the data footprint.
 // Without options the task is fully significant and runs accurately.
+//
+//siglint:noalloc
 func (rt *Runtime) Submit(fn func(), opts ...TaskOption) {
 	if fn == nil {
 		panic("sig: Submit with nil task body")
@@ -318,11 +328,11 @@ func (rt *Runtime) Submit(fn func(), opts ...TaskOption) {
 	t.accurate = fn
 	t.costAcc, t.costApprox = -1, -1
 	for _, o := range opts {
-		o(t)
+		o(t) //siglint:allocok TaskOption callbacks are caller code; the runtime's own path stays allocation-free
 	}
 	t.Seq = rt.seq.Add(1)
 	if t.group == nil {
-		t.group = rt.defaultGroup()
+		t.group = rt.defaultGroup() //siglint:allocok one-time lazy creation of the default group, then a pointer load
 	}
 	g := t.group
 	if g.rt != rt {
@@ -367,13 +377,13 @@ func (rt *Runtime) Submit(fn func(), opts ...TaskOption) {
 		// Wait that flushes after us must either see these tasks in the
 		// buffer or see them pending — never neither.
 		g.mu.Lock()
-		ready, batch = g.policy.Submit(t)
+		ready, batch = g.policy.Submit(t) //siglint:allocok policy boundary: buffering policies amortize into their reused window
 		if n := pendingDelta(ready, batch); n > 0 {
 			g.pending.Add(n)
 		}
 		g.mu.Unlock()
 	} else {
-		ready, batch = g.policy.Submit(t)
+		ready, batch = g.policy.Submit(t) //siglint:allocok policy boundary: buffering policies amortize into their reused window
 		if n := pendingDelta(ready, batch); n > 0 {
 			g.pending.Add(n)
 		}
@@ -387,6 +397,8 @@ func (rt *Runtime) Submit(fn func(), opts ...TaskOption) {
 }
 
 // pendingDelta counts the tasks a policy handed back for dispatch.
+//
+//siglint:noalloc
 func pendingDelta(ready *Task, batch []*Task) int64 {
 	n := int64(len(batch))
 	if ready != nil {
@@ -403,12 +415,14 @@ func pendingDelta(ready *Task, batch []*Task) int64 {
 // queue striping and task allocation (slab-recycled, see pool.go) — across
 // the batch, which makes it the preferred path for fine-grained task
 // streams.
+//
+//siglint:noalloc
 func (rt *Runtime) SubmitBatch(g *Group, specs []TaskSpec) {
 	if len(specs) == 0 {
 		return
 	}
 	if g == nil {
-		g = rt.defaultGroup()
+		g = rt.defaultGroup() //siglint:allocok one-time lazy creation of the default group, then a pointer load
 	}
 	if g.rt != rt {
 		panic("sig: task label belongs to a different runtime")
@@ -476,23 +490,23 @@ func (rt *Runtime) SubmitBatch(g *Group, specs []TaskSpec) {
 			if t.Significance >= 1.0 {
 				t.Decision = DecideAccurate
 				chunkPending++
-				dispatch = append(dispatch, t)
+				dispatch = append(dispatch, t) //siglint:allocok amortized growth of the pooled dispatch scratch; recycled grown
 				continue
 			}
 			if t.Significance <= 0.0 {
 				t.Decision = DecideApprox
 				chunkPending++
-				dispatch = append(dispatch, t)
+				dispatch = append(dispatch, t) //siglint:allocok amortized growth of the pooled dispatch scratch; recycled grown
 				continue
 			}
-			ready, batch := g.policy.Submit(t)
+			ready, batch := g.policy.Submit(t) //siglint:allocok policy boundary: buffering policies amortize into their reused window
 			if ready != nil {
 				chunkPending++
-				dispatch = append(dispatch, ready)
+				dispatch = append(dispatch, ready) //siglint:allocok amortized growth of the pooled dispatch scratch; recycled grown
 			}
 			if len(batch) > 0 {
 				chunkPending += int64(len(batch))
-				dispatch = append(dispatch, batch...)
+				dispatch = append(dispatch, batch...) //siglint:allocok amortized growth of the pooled dispatch scratch; recycled grown
 			}
 		}
 		// As in Submit, publish the pending delta before the policy lock
@@ -512,7 +526,11 @@ func (rt *Runtime) SubmitBatch(g *Group, specs []TaskSpec) {
 }
 
 // dispatch routes a decided task: dropped tasks complete immediately, the
-// rest go to a worker queue. No lock is held while enqueueing.
+// rest go to a worker queue. No lock is held while enqueueing. Either way
+// ownership transfers: the worker (or completeDrop) releases the task.
+//
+//siglint:poolput
+//siglint:noalloc
 func (rt *Runtime) dispatch(t *Task) {
 	if t.Decision == DecideDrop {
 		rt.completeDrop(t)
@@ -522,7 +540,11 @@ func (rt *Runtime) dispatch(t *Task) {
 }
 
 // dispatchBatch routes a decided batch in order, striping the enqueued runs
-// across worker queues with one lock acquisition per run.
+// across worker queues with one lock acquisition per run. Ownership of
+// every task in ts transfers to the workers.
+//
+//siglint:poolput
+//siglint:noalloc
 func (rt *Runtime) dispatchBatch(ts []*Task) {
 	// Split around dropped tasks so the queued runs stay contiguous.
 	runStart := -1
@@ -546,6 +568,9 @@ func (rt *Runtime) dispatchBatch(ts []*Task) {
 
 // completeDrop finishes a task dropped at decision time without touching a
 // queue.
+//
+//siglint:poolput
+//siglint:noalloc
 func (rt *Runtime) completeDrop(t *Task) {
 	g := t.group
 	g.dropped.Add(1)
@@ -591,6 +616,8 @@ func (rt *Runtime) execute(id int, t *Task) {
 // runBody executes one task body and charges its work to the worker's busy
 // account: the declared cost when the task carries one (deterministic), the
 // measured execution time otherwise.
+//
+//siglint:wallclock measured-cost fallback; replayable runs declare costs and never take this path
 func (rt *Runtime) runBody(id int, body func(), cost float64) {
 	if rt.cfg.RecoverPanics {
 		rt.runBodyRecover(id, body, cost)
@@ -609,6 +636,8 @@ func (rt *Runtime) runBody(id int, body func(), cost float64) {
 // runBodyRecover is runBody under Config.RecoverPanics: the busy charge
 // moves into a deferred block so a panicking body still pays its declared
 // cost (or its measured time up to the panic) before the panic is absorbed.
+//
+//siglint:wallclock measured-cost fallback; replayable runs declare costs and never take this path
 func (rt *Runtime) runBodyRecover(id int, body func(), cost float64) {
 	var start time.Time
 	if cost < 0 {
@@ -631,6 +660,7 @@ func (rt *Runtime) runBodyRecover(id int, body func(), cost float64) {
 // zero unless Config.RecoverPanics is set.
 func (rt *Runtime) Panics() int64 { return rt.panics.Load() }
 
+//siglint:noalloc
 func (g *Group) addFootprint(t *Task) {
 	for _, r := range t.ins {
 		g.inBytes.Add(int64(r.Bytes))
@@ -642,6 +672,8 @@ func (g *Group) addFootprint(t *Task) {
 
 // leave retires one pending task. The fast path is a single atomic; the
 // condition variable is only touched when a waiter announced itself.
+//
+//siglint:noalloc
 func (g *Group) leave() {
 	if g.pending.Add(-1) == 0 && g.waiters.Load() > 0 {
 		g.pendMu.Lock()
@@ -664,12 +696,13 @@ func (g *Group) waitIdle() {
 	g.pendMu.Unlock()
 }
 
+//siglint:noalloc
 func (g *Group) record(t *Task, accurate bool) {
 	if !g.rt.cfg.RecordDecisions {
 		return
 	}
 	g.logMu.Lock()
-	g.log = append(g.log, DecisionRecord{Significance: t.Significance, Accurate: accurate, Wave: t.wave})
+	g.log = append(g.log, DecisionRecord{Significance: t.Significance, Accurate: accurate, Wave: t.wave}) //siglint:allocok opt-in telemetry (RecordDecisions); documented as paying memory per task
 	g.logMu.Unlock()
 }
 
@@ -697,7 +730,7 @@ func (rt *Runtime) drain(g *Group) {
 	)
 	fi, pooled := g.policy.(BufferFlusher)
 	if pooled {
-		scratch = rt.pools.getDispatch()
+		scratch = rt.pools.getDispatch() //siglint:leakok recycled below under the same pooled guard; the two branches are correlated
 	}
 	g.mu.Lock()
 	if pooled {
@@ -773,7 +806,7 @@ func (rt *Runtime) Close() error {
 	close(rt.sched.done)
 	rt.wg.Wait()
 
-	rep := rt.report(time.Since(rt.start))
+	rep := rt.report(time.Since(rt.start)) //siglint:wallclock wall/idle split of the frozen Energy report; not replay state
 	rt.mu.Lock()
 	rt.frozen = &rep
 	rt.mu.Unlock()
@@ -790,7 +823,7 @@ func (rt *Runtime) Energy() Report {
 	if frozen != nil {
 		return *frozen
 	}
-	return rt.report(time.Since(rt.start))
+	return rt.report(time.Since(rt.start)) //siglint:wallclock wall/idle split of a live Energy snapshot; not replay state
 }
 
 // busyNS sums the workers' busy clocks.
@@ -823,6 +856,7 @@ func (rt *Runtime) Stats() Stats {
 	return st
 }
 
+//siglint:noalloc
 func clamp01(x float64) float64 {
 	switch {
 	case x < 0 || math.IsNaN(x):

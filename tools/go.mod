@@ -1,0 +1,13 @@
+// Tool dependency pins. This module exists so `make vet`, `make lint` and
+// CI all install the same staticcheck: the Makefile and the workflow grep
+// the version out of the require line below instead of hard-coding it in
+// three places. Its own go.mod keeps it out of the main module's `./...`
+// (and the main module's build graph) entirely.
+//
+// Release 2024.1.1 of the tool corresponds to module version v0.5.1 of
+// honnef.co/go/tools.
+module repro/tools
+
+go 1.22
+
+require honnef.co/go/tools v0.5.1 // staticcheck 2024.1.1

@@ -1,0 +1,11 @@
+//go:build tools
+
+// Package tools records the repo's build-tool dependencies (the classic
+// tools.go pattern). The import below ties staticcheck's module to this
+// module's go.mod, where its version is pinned; the "tools" build tag keeps
+// the package out of every real build.
+package tools
+
+import (
+	_ "honnef.co/go/tools/cmd/staticcheck"
+)
