@@ -4,7 +4,7 @@ GO ?= go
 # (this Makefile, CI) greps it from there.
 STATICCHECK_VERSION := $(shell grep -o 'staticcheck [0-9][0-9A-Za-z.]*' tools/go.mod | cut -d' ' -f2)
 
-.PHONY: test vet lint race bench fuzz fuzz-serve fuzz-shard fuzz-chaos chaos bench-adapt serve-study slo-study bench-shard bench-multicore bench-fleet
+.PHONY: test vet lint race bench fuzz fuzz-serve fuzz-shard fuzz-chaos chaos bench-adapt serve-study slo-study pace-study bench-shard bench-multicore bench-fleet
 
 # -shuffle=on randomizes test order within each package so order-dependent
 # tests cannot hide behind file order; CI runs the same way.
@@ -75,6 +75,12 @@ serve-study:
 # latency split) and append its summary to BENCH_sig.json under "slo".
 slo-study:
 	$(GO) run ./cmd/sigbench slo -append-bench BENCH_sig.json
+
+# Run the measured-time pacing study (cadence convergence to the true wave
+# wall, counted overruns, measured-period RetryAfter honesty, bit-identical
+# fake-clock replay) and append its summary to BENCH_sig.json under "pace".
+pace-study:
+	$(GO) run ./cmd/sigbench pace -append-bench BENCH_sig.json
 
 # Run the multi-runtime sharding study (burst submit throughput at 1/2/4/8
 # shards, energy additivity, placement sweep) and append its summary to

@@ -14,6 +14,7 @@
 //	sigbench adaptive [-scale 0.25] [-setpoint 16] [-waves 24] [-append-bench BENCH_sig.json]
 //	sigbench serve  [-scale 0.25] [-workers 16] [-backend sobel|kmeans|all] [-shards 4] [-append-bench BENCH_sig.json]
 //	sigbench slo    [-append-bench BENCH_sig.json]
+//	sigbench pace   [-append-bench BENCH_sig.json]
 //	sigbench shard  [-reps 3] [-append-bench BENCH_sig.json]
 //	sigbench fleet  [-append-bench BENCH_sig.json]
 //	sigbench multicore [-procs 1,2,4,8] [-reps 3] [-append-bench BENCH_sig.json]
@@ -96,6 +97,8 @@ func main() {
 		err = runServe(*scale, *workers, *shards, *backend, *appendTo)
 	case "slo":
 		err = runSLO(*appendTo)
+	case "pace":
+		err = runPace(*appendTo)
 	case "shard":
 		err = runShard(shardReps, *appendTo)
 	case "fleet":
@@ -142,6 +145,10 @@ func main() {
 			break
 		}
 		fmt.Println()
+		if err = runPace(""); err != nil {
+			break
+		}
+		fmt.Println()
 		if err = runFleet(""); err != nil {
 			break
 		}
@@ -158,7 +165,7 @@ func main() {
 }
 
 func usage() {
-	fmt.Fprintln(os.Stderr, "usage: sigbench {table1|fig1|fig2|fig3|fig4|table2|ablate|adaptive|serve|slo|shard|fleet|multicore|all} [flags]")
+	fmt.Fprintln(os.Stderr, "usage: sigbench {table1|fig1|fig2|fig3|fig4|table2|ablate|adaptive|serve|slo|pace|shard|fleet|multicore|all} [flags]")
 	fmt.Fprintln(os.Stderr, "run 'sigbench <cmd> -h' for per-command flags")
 }
 
@@ -367,6 +374,46 @@ func runSLO(appendTo string) error {
 		"prio_p99_waves":    res.PrioP99,
 		"bulk_p50_waves":    res.BulkP50,
 		"bulk_p99_waves":    res.BulkP99,
+	})
+}
+
+// runPace executes the measured-time pacing study (cadence convergence to
+// the true wave wall, counted overruns, measured-period RetryAfter honesty,
+// bit-identical fake-clock replay), prints it, and (when appendTo names a
+// BENCH json file) merges the summary under the "pace" key.
+func runPace(appendTo string) error {
+	res, err := harness.PaceStudy(harness.PaceConfig{})
+	if err != nil {
+		return err
+	}
+	harness.PrintPaceStudy(os.Stdout, res)
+	if appendTo == "" {
+		return nil
+	}
+	return mergeBenchKey(appendTo, "pace", map[string]any{
+		"subject":               "measured-time wave pacing: autotuned cadence, counted overruns, measured-period RetryAfter (harness.PaceStudy)",
+		"host":                  hostEntry(),
+		"base_per_wave":         res.BasePerWave,
+		"waves":                 res.Waves,
+		"nominal_period_ms":     res.NominalMs,
+		"true_mean_wall_ms":     res.TrueMeanMs,
+		"final_pace_ms":         res.FinalPaceMs,
+		"measured_period_ms":    res.MeasuredMs,
+		"converged":             res.Converged,
+		"converged_at_wave":     res.ConvergedAt,
+		"overruns":              res.Overruns,
+		"waves_run":             res.WavesRun,
+		"pace_calls":            res.PaceCalls,
+		"retry_after_ms":        res.RetryAfterMs,
+		"observed_drain_ms":     res.DrainMs,
+		"retry_before_ms":       res.RetryBeforeMs,
+		"retry_err_before":      res.RetryErrBefore,
+		"retry_err_after":       res.RetryErrAfter,
+		"retry_within_one_wave": res.RetryWithinOneWave,
+		"shed_bound_ms":         res.ShedBoundMs,
+		"shed_bound_nominal_ms": res.ShedBoundNominalMs,
+		"recover_bound_ms":      res.RecoverBoundMs,
+		"replay_bit_identical":  res.ReplayIdentical,
 	})
 }
 

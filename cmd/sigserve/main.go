@@ -8,6 +8,7 @@
 //
 //	sigserve [-addr :8080] [-backend sobel|kmeans] [-scale 0.25]
 //	         [-workers 0] [-shards 1] [-period 5ms] [-queue 4096]
+//	         [-min-period 0] [-max-period 0]
 //	         [-minratio 0] [-target-load 1.0] [-deadline 0]
 //	         [-autoscale] [-max-shards 0] [-priority-at 0]
 //	         [-quality-floor 0] [-quality-window 0]
@@ -23,7 +24,13 @@
 // expire before Submit are rejected 504; requests that expire while queued
 // resolve as the timed-out outcome, also 504, at zero modeled joules.
 // Queue-full rejections are 503 with a Retry-After header carrying the
-// server's backlog-drain estimate.
+// server's backlog-drain estimate, priced in measured wave periods.
+//
+// -period P is the nominal wave cadence; the background pump measures each
+// wave's wall time and retimes itself toward the EWMA within [-min-period,
+// -max-period] (defaults P/4 and 8×P). Waves that outrun the cadence are
+// counted, never dropped — /stats reports overruns and the measured and
+// paced periods, /metrics the matching gauges.
 //
 // -priority-at S (in (0,1]) enables the priority admission lane: requests
 // with significance >= S (e.g. tier=gold at 1.0) queue in a reserved slice
@@ -83,7 +90,9 @@ func main() {
 		scale      = flag.Float64("scale", 0.25, "backend problem scale in (0,1]")
 		workers    = flag.Int("workers", 0, "worker goroutines (0 = GOMAXPROCS); per shard with -shards")
 		shards     = flag.Int("shards", 0, "runtime shards behind the router (0/1 = single runtime)")
-		period     = flag.Duration("period", serve.DefaultWavePeriod, "wave period")
+		period     = flag.Duration("period", serve.DefaultWavePeriod, "nominal wave period (the pacer retimes to the measured wall within the min/max bounds)")
+		minPeriod  = flag.Duration("min-period", 0, "pacer cadence floor (0 = period/4)")
+		maxPeriod  = flag.Duration("max-period", 0, "pacer cadence ceiling (0 = 8x period)")
 		queue      = flag.Int("queue", serve.DefaultQueueLimit, "admission queue limit")
 		minRatio   = flag.Float64("minratio", 0, "quality contract: lowest accuracy ratio")
 		targetLoad = flag.Float64("target-load", serve.DefaultTargetLoad, "admission controller load cap")
@@ -119,6 +128,8 @@ func main() {
 		Shards:        *shards,
 		QueueLimit:    *queue,
 		WavePeriod:    *period,
+		MinPeriod:     *minPeriod,
+		MaxPeriod:     *maxPeriod,
 		MinRatio:      *minRatio,
 		TargetLoad:    *targetLoad,
 		PriorityAt:    *priorityAt,
@@ -199,25 +210,28 @@ func main() {
 		}
 		bulkDepth, prioDepth := srv.LaneDepths()
 		writeJSON(w, map[string]any{
-			"backend":        backend.Name,
-			"shards":         max(*shards, 1),
-			"live_shards":    live,
-			"ratio":          srv.Ratio(),
-			"load":           srv.Load(),
-			"budget":         srv.Budget(),
-			"depth":          srv.Depth(),
-			"bulk_depth":     bulkDepth,
-			"priority_depth": prioDepth,
-			"waves":          tot.Waves,
-			"submitted":      tot.Submitted,
-			"rejected":       tot.Rejected,
-			"completed":      tot.Completed,
-			"accurate":       tot.Accurate,
-			"degraded":       tot.Degraded,
-			"dropped":        tot.Dropped,
-			"timedout":       tot.TimedOut,
-			"priority":       tot.Priority,
-			"joules":         tot.Joules,
+			"backend":            backend.Name,
+			"shards":             max(*shards, 1),
+			"live_shards":        live,
+			"ratio":              srv.Ratio(),
+			"load":               srv.Load(),
+			"budget":             srv.Budget(),
+			"depth":              srv.Depth(),
+			"bulk_depth":         bulkDepth,
+			"priority_depth":     prioDepth,
+			"waves":              tot.Waves,
+			"overruns":           tot.Overruns,
+			"measured_period_ms": float64(srv.MeasuredPeriod().Microseconds()) / 1000,
+			"pace_period_ms":     float64(srv.PacePeriod().Microseconds()) / 1000,
+			"submitted":          tot.Submitted,
+			"rejected":           tot.Rejected,
+			"completed":          tot.Completed,
+			"accurate":           tot.Accurate,
+			"degraded":           tot.Degraded,
+			"dropped":            tot.Dropped,
+			"timedout":           tot.TimedOut,
+			"priority":           tot.Priority,
+			"joules":             tot.Joules,
 		})
 	})
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {

@@ -1,6 +1,9 @@
 package adapt
 
-import "math"
+import (
+	"math"
+	"time"
+)
 
 // Provable reaction bounds of the cap objectives (TargetLoad/TargetEnergy),
 // derived from the secant law's update arithmetic in step():
@@ -70,6 +73,35 @@ func RecoverBound(deltaR, gain, maxStep, headroom float64) int {
 		climb = 1
 	}
 	return 2 + travelWaves(deltaR, climb*maxStep)
+}
+
+// ShedBoundSeconds converts ShedBound into wall time: the waves-to-react
+// bound priced at the wave period actually in force. Feed it the measured
+// period (serve.Server.MeasuredPeriod) — a bound priced at the configured
+// nominal period understates the reaction time by exactly the factor the
+// waves overrun, which is what made the PR 8 SLO numbers "seconds" in name
+// only.
+func ShedBoundSeconds(deltaR, maxStep float64, period time.Duration) time.Duration {
+	return wavesToSeconds(ShedBound(deltaR, maxStep), period)
+}
+
+// RecoverBoundSeconds is RecoverBound priced in wall time at the given wave
+// period (the measured period, like ShedBoundSeconds); the caller still
+// adds its backlog drain-phase estimate, also in measured-period units.
+func RecoverBoundSeconds(deltaR, gain, maxStep, headroom float64, period time.Duration) time.Duration {
+	return wavesToSeconds(RecoverBound(deltaR, gain, maxStep, headroom), period)
+}
+
+// wavesToSeconds prices a wave count at a period, saturating instead of
+// overflowing when the count is the travelWaves "never arrives" sentinel.
+func wavesToSeconds(waves int, period time.Duration) time.Duration {
+	if waves <= 0 || period <= 0 {
+		return 0
+	}
+	if int64(waves) > math.MaxInt64/int64(period) {
+		return math.MaxInt64
+	}
+	return time.Duration(waves) * period
 }
 
 // travelWaves is ⌈deltaR/step⌉ with the degenerate cases pinned: no

@@ -4,6 +4,7 @@ import (
 	"math"
 	"math/rand"
 	"testing"
+	"time"
 
 	"repro/sig"
 	"repro/sig/adapt"
@@ -275,5 +276,26 @@ func TestBoundArithmetic(t *testing.T) {
 	}
 	if got := adapt.RecoverBound(0.5, 2.0, 0.25, 0); got < 1<<30 {
 		t.Errorf("RecoverBound with zero headroom = %d, want effectively unbounded", got)
+	}
+}
+
+// TestBoundSeconds pins the wall-time forms: waves priced at the measured
+// period, with the zero and never-arrives edges saturating instead of
+// overflowing.
+func TestBoundSeconds(t *testing.T) {
+	period := 4 * time.Millisecond
+	if got, want := adapt.ShedBoundSeconds(1.0, 0.25, period), 6*period; got != want {
+		t.Errorf("ShedBoundSeconds(1, 0.25, %v) = %v, want %v", period, got, want)
+	}
+	if got, want := adapt.RecoverBoundSeconds(1.0, 2.0, 0.25, 0.4, period), 7*period; got != want {
+		t.Errorf("RecoverBoundSeconds(1, 2, 0.25, 0.4, %v) = %v, want %v", period, got, want)
+	}
+	if got := adapt.ShedBoundSeconds(1.0, 0.25, 0); got != 0 {
+		t.Errorf("ShedBoundSeconds at zero period = %v, want 0", got)
+	}
+	// Zero headroom: the recover bound never arrives; the seconds form must
+	// saturate at the maximum duration, not wrap negative.
+	if got := adapt.RecoverBoundSeconds(0.5, 2.0, 0.25, 0, time.Hour); got != 1<<63-1 {
+		t.Errorf("RecoverBoundSeconds with zero headroom = %v, want saturated max", got)
 	}
 }

@@ -2,6 +2,7 @@ package serve
 
 import (
 	"testing"
+	"time"
 )
 
 // Microbenchmarks for the serving admission hot path: Submit + RunWave with
@@ -154,7 +155,7 @@ func BenchmarkServeAdmit(b *testing.B) {
 			}
 		}
 		b.StartTimer()
-		batch := s.admit()
+		batch := s.admit(time.Now())
 		b.StopTimer()
 		if len(batch) != benchWave {
 			b.Fatalf("admitted %d of %d", len(batch), benchWave)

@@ -1,8 +1,10 @@
 package serve
 
 import (
+	"errors"
 	"math"
 	"testing"
+	"time"
 )
 
 // FuzzServeAdmission feeds adversarial request/wave schedules through the
@@ -21,7 +23,10 @@ import (
 //   - the modeled energy account equals the declared cost of what actually
 //     ran: accurate outcomes charge their accurate cost, degraded outcomes
 //     their degraded cost, dropped outcomes exactly nothing (the runtime's
-//     skipped-task accounting fix, exercised under adversarial schedules).
+//     skipped-task accounting fix, exercised under adversarial schedules);
+//   - with the fake clock driving measured wave time, every queue-full
+//     rejection's RetryAfter covers at least one measured period — the
+//     backoff hint can never under-price the server's own measurement.
 //
 // Input encoding (every byte string is valid):
 //
@@ -30,18 +35,22 @@ import (
 //	data[2]  wave budget, in accurate-request units (1..16)
 //	data[3]  MinRatio, quantized to data[3]/255 * 0.8
 //	data[4]  priority lane: 0 disables, else PriorityAt = 0.5 + (v%5)/10
-//	data[5:] op stream: 0 runs a wave; any other byte v submits a request
+//	data[5]  measured-period bit: 0 runs on the wall clock; else a
+//	         FakeClock is injected and each handler advances it by
+//	         (v%8+1) × 100µs — waves acquire fuzzer-chosen wall times
+//	data[6:] op stream: 0 runs a wave; any other byte v submits a request
 //	         with significance (v%11)/10, a degraded body iff v%3 != 0,
 //	         and declared costs derived from v.
 func FuzzServeAdmission(f *testing.F) {
-	f.Add([]byte{1, 8, 4, 0, 0, 7, 7, 7, 0, 9, 9, 0})
-	f.Add([]byte{2, 2, 1, 128, 0, 3, 6, 9, 12, 0, 3, 6, 9, 12, 0, 0})
-	f.Add([]byte{4, 32, 16, 64, 1, 255, 254, 253, 1, 2, 3, 0, 255, 1, 0})
-	f.Add([]byte{3, 1, 2, 255, 3, 11, 22, 33, 44, 55, 66, 77, 88, 99, 0})
-	f.Add([]byte{2, 8, 2, 0, 2, 10, 9, 10, 9, 10, 9, 10, 0, 10, 9, 0})
+	f.Add([]byte{1, 8, 4, 0, 0, 0, 7, 7, 7, 0, 9, 9, 0})
+	f.Add([]byte{2, 2, 1, 128, 0, 0, 3, 6, 9, 12, 0, 3, 6, 9, 12, 0, 0})
+	f.Add([]byte{4, 32, 16, 64, 1, 0, 255, 254, 253, 1, 2, 3, 0, 255, 1, 0})
+	f.Add([]byte{3, 1, 2, 255, 3, 7, 11, 22, 33, 44, 55, 66, 77, 88, 99, 0})
+	f.Add([]byte{2, 8, 2, 0, 2, 1, 10, 9, 10, 9, 10, 9, 10, 0, 10, 9, 0})
+	f.Add([]byte{2, 3, 1, 0, 0, 255, 200, 200, 200, 0, 200, 200, 200, 200, 200, 0})
 
 	f.Fuzz(func(t *testing.T, data []byte) {
-		if len(data) < 6 {
+		if len(data) < 7 {
 			t.Skip()
 		}
 		minRatio := float64(data[3]) / 255 * 0.8
@@ -57,11 +66,18 @@ func FuzzServeAdmission(f *testing.F) {
 				cfg.QueueLimit = 2 // the lane needs a slot on each side
 			}
 		}
+		var fc *FakeClock
+		var advance time.Duration
+		if v := data[5]; v != 0 {
+			fc = NewFakeClock()
+			cfg.Clock = fc
+			advance = time.Duration(int(v)%8+1) * 100 * time.Microsecond
+		}
 		s, err := New(cfg)
 		if err != nil {
 			t.Fatal(err)
 		}
-		ops := data[5:]
+		ops := data[6:]
 		if len(ops) > 1024 {
 			ops = ops[:1024]
 		}
@@ -81,15 +97,19 @@ func FuzzServeAdmission(f *testing.F) {
 				}
 				continue
 			}
+			handler := func() {}
+			if fc != nil {
+				handler = func() { fc.Advance(advance) }
+			}
 			req := Request{
 				Significance: float64(int(v)%11) / 10,
-				Handler:      func() {},
+				Handler:      handler,
 				CostAccurate: float64(100 + 10*int(v)),
 				CostDegraded: float64(1 + int(v)%50),
 			}
 			hasDeg := v%3 != 0
 			if hasDeg {
-				req.Degraded = func() {}
+				req.Degraded = handler
 			}
 			prio := cfg.PriorityAt > 0 && req.Significance >= cfg.PriorityAt
 			laneDepth, laneLimit := laneState(s, prio)
@@ -97,6 +117,13 @@ func FuzzServeAdmission(f *testing.F) {
 			tk, err := s.Submit(req)
 			if err != nil {
 				rejected++
+				// RetryAfter honesty: a queue-full backoff hint must cover at
+				// least one measured period, whatever wall times the fake
+				// clock has given the waves so far.
+				var oe *OverloadError
+				if errors.As(err, &oe) && oe.RetryAfter < s.MeasuredPeriod() {
+					t.Fatalf("RetryAfter %v under one measured period %v", oe.RetryAfter, s.MeasuredPeriod())
+				}
 				// Lane conservation: a rejection is legal only when the
 				// request's own lane was full — the other lane's backlog must
 				// never bleed into this one's slots. (The sweep may have freed

@@ -40,6 +40,8 @@ func (s *Server) WriteMetrics(w io.Writer) error {
 	fmt.Fprintf(w, "sigserve_priority_completed_total %d\n", tot.Priority)
 	mf("sigserve_waves_total", "counter", "Serving waves run.")
 	fmt.Fprintf(w, "sigserve_waves_total %d\n", tot.Waves)
+	mf("sigserve_wave_overruns_total", "counter", "Paced waves whose wall time overran the cadence (counted, never dropped).")
+	fmt.Fprintf(w, "sigserve_wave_overruns_total %d\n", tot.Overruns)
 	mf("sigserve_joules_total", "counter", "Modeled energy spent, in joules.")
 	fmt.Fprintf(w, "sigserve_joules_total %s\n", fmtFloat(tot.Joules))
 
@@ -51,6 +53,10 @@ func (s *Server) WriteMetrics(w io.Writer) error {
 	fmt.Fprintf(w, "sigserve_target_load %s\n", fmtFloat(s.cfg.TargetLoad))
 	mf("sigserve_wave_budget", "gauge", "Modeled per-wave capacity, rebuilt from the live fleet each wave.")
 	fmt.Fprintf(w, "sigserve_wave_budget %s\n", fmtFloat(s.Budget()))
+	mf("sigserve_wave_period_seconds", "gauge", "Measured wave wall-time EWMA (the configured period before the first wave).")
+	fmt.Fprintf(w, "sigserve_wave_period_seconds %s\n", fmtFloat(s.MeasuredPeriod().Seconds()))
+	mf("sigserve_pace_period_seconds", "gauge", "The pacer's current wave cadence.")
+	fmt.Fprintf(w, "sigserve_pace_period_seconds %s\n", fmtFloat(s.PacePeriod().Seconds()))
 	mf("sigserve_live_shards", "gauge", "Live shards behind the server (1 in solo mode).")
 	fmt.Fprintf(w, "sigserve_live_shards %d\n", live)
 

@@ -1,0 +1,325 @@
+package serve
+
+import (
+	"errors"
+	"runtime"
+	"testing"
+	"time"
+)
+
+// paceRequest is one deterministic measured-time test request: premium
+// significance (never degraded, so cost arithmetic stays exact), declared
+// cost d nanoseconds, and a handler that advances the fake clock by exactly
+// that much — the wave's measured wall time is the sum of what it admitted.
+func paceRequest(fc *FakeClock, d time.Duration) Request {
+	return Request{
+		Significance: 1.0,
+		Handler:      func() { fc.Advance(d) },
+		CostAccurate: float64(d),
+	}
+}
+
+// newPaceServer builds a Workers=1 fake-clock server: one worker makes
+// "measured period × live workers" and "sum of admitted cost" the same
+// quantity, so budget assertions are exact.
+func newPaceServer(t *testing.T, mut func(*Config)) (*Server, *FakeClock) {
+	t.Helper()
+	fc := NewFakeClock()
+	cfg := Config{
+		Workers:    1,
+		QueueLimit: 1024,
+		WavePeriod: time.Millisecond,
+		Clock:      fc,
+	}
+	if mut != nil {
+		mut(&cfg)
+	}
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s, fc
+}
+
+// TestServeMeasuredPeriodEWMA pins the measured-time plumbing end to end:
+// WaveReport.WallTime is the exact fake-clock advance of the wave, and
+// MeasuredPeriod follows the deterministic integer EWMA
+// (next = old + (sample-old)/4) sample by sample.
+func TestServeMeasuredPeriodEWMA(t *testing.T) {
+	s, fc := newPaceServer(t, func(c *Config) { c.WaveBudget = 1e9 })
+	defer s.Close()
+
+	if got := s.MeasuredPeriod(); got != s.cfg.WavePeriod {
+		t.Fatalf("pre-measurement MeasuredPeriod %v, want configured %v", got, s.cfg.WavePeriod)
+	}
+
+	wave := func(d time.Duration) WaveReport {
+		if _, err := s.Submit(paceRequest(fc, d)); err != nil {
+			t.Fatal(err)
+		}
+		rep, _ := s.PaceWave()
+		return rep
+	}
+
+	if rep := wave(2 * time.Millisecond); rep.WallTime != 2*time.Millisecond {
+		t.Fatalf("WallTime %v, want the wave's exact 2ms advance", rep.WallTime)
+	}
+	if got := s.MeasuredPeriod(); got != 2*time.Millisecond {
+		t.Fatalf("first sample MeasuredPeriod %v, want 2ms", got)
+	}
+	// Step the true wall time up to 4ms: the EWMA must walk the exact
+	// integer trajectory toward it.
+	for _, want := range []time.Duration{2_500_000, 2_875_000, 3_156_250} {
+		wave(4 * time.Millisecond)
+		if got := s.MeasuredPeriod(); got != want {
+			t.Fatalf("EWMA %v, want %v", got, want)
+		}
+	}
+}
+
+// TestServeRetryAfterMeasuredPeriod is the repricing regression: once a
+// wave has measured longer than the configured WavePeriod, the queue-full
+// backoff hint must be priced in measured-period units. Pre-fix code priced
+// waves × cfg.WavePeriod and sent clients back into a still-full queue.
+func TestServeRetryAfterMeasuredPeriod(t *testing.T) {
+	const cost = 4 * time.Millisecond // one wave's true wall time: 4x the period
+	s, fc := newPaceServer(t, func(c *Config) {
+		c.QueueLimit = 4
+		c.WaveBudget = float64(cost)
+	})
+	defer s.Close()
+
+	// One explicit wave (no pump running) establishes the measurement.
+	if _, err := s.Submit(paceRequest(fc, cost)); err != nil {
+		t.Fatal(err)
+	}
+	if rep := s.RunWave(); rep.WallTime != cost {
+		t.Fatalf("measured wave wall %v, want %v", rep.WallTime, cost)
+	}
+	for i := 0; i < 4; i++ {
+		if _, err := s.Submit(paceRequest(fc, cost)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	_, err := s.Submit(paceRequest(fc, cost))
+	var oe *OverloadError
+	if !errors.As(err, &oe) {
+		t.Fatalf("expected OverloadError from the full queue, got %v", err)
+	}
+	// Backlog = 4 requests of one budget each -> 4 waves, each honestly
+	// worth the measured 4ms, not the configured 1ms.
+	if want := 4 * s.MeasuredPeriod(); oe.RetryAfter != want {
+		t.Fatalf("RetryAfter %v, want %v (4 waves at the measured period %v)",
+			oe.RetryAfter, want, s.MeasuredPeriod())
+	}
+	if oe.RetryAfter < 4*cost {
+		t.Fatalf("RetryAfter %v under-prices 4 overrunning waves of %v", oe.RetryAfter, cost)
+	}
+}
+
+// TestServePacerCountsOverruns pins the tick-coalescing fix: a wave whose
+// wall time outruns the cadence is counted — Totals.Overruns, the report's
+// Overrun flag, a zero next-wave delay — and the wave count tracks every
+// PaceWave call; nothing is silently dropped the way the old fixed Ticker
+// coalesced late ticks.
+func TestServePacerCountsOverruns(t *testing.T) {
+	s, fc := newPaceServer(t, func(c *Config) { c.WaveBudget = 1e9 })
+	defer s.Close()
+
+	// Wave 1 overruns: 4ms of work against the 1ms starting cadence.
+	if _, err := s.Submit(paceRequest(fc, 4*time.Millisecond)); err != nil {
+		t.Fatal(err)
+	}
+	rep, delay := s.PaceWave()
+	if !rep.Overrun || delay != 0 {
+		t.Fatalf("overrunning wave: Overrun=%v delay=%v, want true/0", rep.Overrun, delay)
+	}
+	if got := s.Totals().Overruns; got != 1 {
+		t.Fatalf("Overruns %d after one overrunning wave, want 1", got)
+	}
+	// The pacer retimed to the measured 4ms, so an identical wave now fits
+	// its cadence: no overrun, and the pacer owes no extra delay.
+	if got := s.PacePeriod(); got != 4*time.Millisecond {
+		t.Fatalf("cadence %v after retime, want the measured 4ms", got)
+	}
+	if _, err := s.Submit(paceRequest(fc, 4*time.Millisecond)); err != nil {
+		t.Fatal(err)
+	}
+	rep, delay = s.PaceWave()
+	if rep.Overrun || delay != 0 {
+		t.Fatalf("retimed wave: Overrun=%v delay=%v, want false/0", rep.Overrun, delay)
+	}
+	// An empty wave underruns; the delay is the remaining cadence.
+	rep, delay = s.PaceWave()
+	if rep.Overrun || delay <= 0 {
+		t.Fatalf("idle wave: Overrun=%v delay=%v, want false/positive", rep.Overrun, delay)
+	}
+	if tot := s.Totals(); tot.Overruns != 1 || tot.Waves != 3 {
+		t.Fatalf("totals Overruns=%d Waves=%d, want 1 and 3 (every PaceWave counted)", tot.Overruns, tot.Waves)
+	}
+}
+
+// TestServePacerBounds pins the cadence clamp: the EWMA may exceed
+// MaxPeriod, but the pacer never paces outside [MinPeriod, MaxPeriod] —
+// while RetryAfter keeps pricing with the unclamped, honest measurement.
+func TestServePacerBounds(t *testing.T) {
+	s, fc := newPaceServer(t, func(c *Config) {
+		c.WaveBudget = 1e9
+		c.MaxPeriod = 2 * time.Millisecond
+	})
+	defer s.Close()
+	if _, err := s.Submit(paceRequest(fc, 40*time.Millisecond)); err != nil {
+		t.Fatal(err)
+	}
+	s.PaceWave()
+	if got := s.PacePeriod(); got != 2*time.Millisecond {
+		t.Fatalf("cadence %v, want clamped MaxPeriod 2ms", got)
+	}
+	if got := s.MeasuredPeriod(); got != 40*time.Millisecond {
+		t.Fatalf("MeasuredPeriod %v, want the unclamped 40ms", got)
+	}
+}
+
+// TestServePacedBudgetTracksMeasured: under the pacer, a configured
+// WaveBudget is only the initial guess — after a measured wave, capacity is
+// re-derived as effective measured period × live workers.
+func TestServePacedBudgetTracksMeasured(t *testing.T) {
+	s, fc := newPaceServer(t, func(c *Config) { c.WaveBudget = 1e6 })
+	defer s.Close()
+	if got := s.Budget(); got != 1e6 {
+		t.Fatalf("initial budget %v, want the configured 1e6", got)
+	}
+	if _, err := s.Submit(paceRequest(fc, 4*time.Millisecond)); err != nil {
+		t.Fatal(err)
+	}
+	rep, _ := s.PaceWave()
+	if want := 4e6; s.Budget() != want || rep.Budget != want {
+		t.Fatalf("paced budget %v (report %v), want %v = measured 4ms x 1 worker",
+			s.Budget(), rep.Budget, want)
+	}
+}
+
+// TestServeDefaultBudgetSoloShardedEquivalence pins the unified budget
+// derivation: the default WaveBudget of a solo server with W workers equals
+// that of a sharded server with the same W total workers, and the sharded
+// per-wave rebuild (budgetPerShard × live) reproduces the same number — no
+// drift between withDefaults' basis and the rebuild's.
+func TestServeDefaultBudgetSoloShardedEquivalence(t *testing.T) {
+	solo, err := New(Config{Workers: 4, WavePeriod: 2 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer solo.Close()
+	sharded, err := New(Config{Workers: 2, Shards: 2, WavePeriod: 2 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sharded.Close()
+
+	want := 4 * float64((2 * time.Millisecond).Nanoseconds())
+	if got := solo.Budget(); got != want {
+		t.Fatalf("solo default budget %v, want %v", got, want)
+	}
+	if got := sharded.Budget(); got != want {
+		t.Fatalf("sharded default budget %v, want solo-equivalent %v", got, want)
+	}
+	// The fleet rebuild at a wave boundary must reproduce the same number
+	// while all shards are live.
+	sharded.RunWave()
+	if got := sharded.Budget(); got != want {
+		t.Fatalf("sharded budget %v after the per-wave rebuild, want %v", got, want)
+	}
+}
+
+// TestServeStartLifecycle covers the pump's edges: a second Start is a
+// no-op on the same pump, and Start after Close spawns nothing.
+func TestServeStartLifecycle(t *testing.T) {
+	s, _ := newPaceServer(t, nil)
+	pump := func() chan struct{} {
+		s.mu.Lock()
+		defer s.mu.Unlock()
+		return s.pumpStop
+	}
+	s.Start()
+	first := pump()
+	if first == nil {
+		t.Fatal("Start spawned no pump")
+	}
+	s.Start()
+	if pump() != first {
+		t.Fatal("double Start replaced the pump instead of no-opping")
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if pump() != first {
+		t.Fatal("Close must not clear the pump record it already joined")
+	}
+
+	s2, _ := newPaceServer(t, nil)
+	if err := s2.Close(); err != nil {
+		t.Fatal(err)
+	}
+	s2.Start()
+	if pump := func() chan struct{} {
+		s2.mu.Lock()
+		defer s2.mu.Unlock()
+		return s2.pumpStop
+	}(); pump != nil {
+		t.Fatal("Start after Close spawned a pump goroutine")
+	}
+}
+
+// TestServeCloseDuringPacedWaveDrains: Close called while the real-clock
+// pacer has a wave in flight must drain cleanly — every accepted ticket
+// resolves, and no goroutine (pump, workers) outlives Close.
+func TestServeCloseDuringPacedWaveDrains(t *testing.T) {
+	base := runtime.NumGoroutine()
+	s, err := New(Config{
+		Workers:    2,
+		QueueLimit: 1024,
+		WavePeriod: 200 * time.Microsecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Start()
+	var tks []*Ticket
+	for i := 0; i < 16; i++ {
+		tk, err := s.Submit(Request{
+			Significance: 1.0,
+			Handler:      func() { time.Sleep(time.Millisecond) },
+			CostAccurate: float64(time.Millisecond),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		tks = append(tks, tk)
+	}
+	// Let the pacer take at least one wave in flight before shutting down.
+	for s.Totals().Waves == 0 {
+		time.Sleep(100 * time.Microsecond)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	for i, tk := range tks {
+		select {
+		case <-tk.Done():
+		default:
+			t.Fatalf("ticket %d unresolved after Close", i)
+		}
+	}
+	if tot := s.Totals(); tot.Completed != 16 {
+		t.Fatalf("completed %d of 16 accepted requests", tot.Completed)
+	}
+	// The pump and the engine workers must be gone; give the runtime a
+	// moment to reap them.
+	deadline := time.Now().Add(2 * time.Second)
+	for runtime.NumGoroutine() > base && time.Now().Before(deadline) {
+		time.Sleep(10 * time.Millisecond)
+	}
+	if got := runtime.NumGoroutine(); got > base {
+		t.Fatalf("%d goroutines outlive Close (baseline %d)", got-base, base)
+	}
+}

@@ -15,10 +15,23 @@
 // when the queue is full despite maximum degradation does Submit reject —
 // quality sheds first, requests last.
 //
+// Time enters the package through one seam, the WaveClock: deadlines,
+// latency stamps and the per-wave wall-time measurement all read it. Each
+// wave's measured wall time feeds a bounded EWMA (MeasuredPeriod) that
+// prices the RetryAfter backoff hint honestly and, under Start's pacer,
+// retimes the wave cadence within [MinPeriod, MaxPeriod] and re-derives
+// the wave budget from measured period × live workers — the closed
+// measured-feedback loop, as opposed to trusting the configured WavePeriod
+// open-loop.
+//
 // With declared costs, a deterministic policy (the default GTB max
-// buffering) and a deterministic arrival order, the whole closed loop —
-// ratio trajectory, per-request outcomes, modeled joules — replays
-// bit-identically; harness.ServeStudy and the regression suite rely on it.
+// buffering), a deterministic arrival order and a FakeClock behind the
+// seam, the whole closed loop — ratio trajectory, per-request outcomes,
+// modeled joules, measured cadence — replays bit-identically;
+// harness.ServeStudy, harness.PaceStudy and the regression suite rely on
+// it.
+//
+//siglint:deterministic
 package serve
 
 import (
@@ -97,6 +110,18 @@ const (
 	// DefaultQualityWindow is the averaging horizon, in waves, of the
 	// windowed quality floor when QualityFloor is set without a window.
 	DefaultQualityWindow = 16
+)
+
+// Pacer tuning. The measured-period EWMA folds 1/periodAlphaInv of every
+// new wall-time sample in (bounded memory, geometric horizon); the pacer
+// only retimes when the clamped EWMA has moved more than
+// 1/paceHysteresisInv off the current cadence; MinPeriod and MaxPeriod
+// default to WavePeriod/minPeriodDiv and maxPeriodMult×WavePeriod.
+const (
+	periodAlphaInv    = 4
+	paceHysteresisInv = 10
+	minPeriodDiv      = 4
+	maxPeriodMult     = 8
 )
 
 // Request is one unit of service traffic.
@@ -253,8 +278,22 @@ type Config struct {
 	// wave (power capping): the load signal takes the max of the demand
 	// term and joules/EnergyBudget.
 	EnergyBudget float64
-	// WavePeriod is Start's pump cadence (default DefaultWavePeriod).
+	// WavePeriod is the cadence Start's pacer starts from, and the basis of
+	// the default wave budget (default DefaultWavePeriod). Once waves have
+	// been measured the pacer retimes toward the measured wall-time EWMA;
+	// WavePeriod is then only the pre-measurement guess.
 	WavePeriod time.Duration
+	// MinPeriod and MaxPeriod bound the pacer: the cadence tracks the
+	// measured-period EWMA but never leaves [MinPeriod, MaxPeriod]
+	// (defaults WavePeriod/4 and 8×WavePeriod). WavePeriod must lie inside
+	// the bounds.
+	MinPeriod time.Duration
+	MaxPeriod time.Duration
+	// Clock injects the serving layer's time source (nil = the monotonic
+	// wall clock). A FakeClock behind this seam makes the whole
+	// measured-time loop — deadlines, MeasuredPeriod, the pacer cadence,
+	// RetryAfter pricing — deterministic for replay.
+	Clock WaveClock
 	// DefaultCost is the admission pacing estimate for requests without
 	// declared costs (default DefaultRequestCost).
 	DefaultCost float64
@@ -277,7 +316,7 @@ type Config struct {
 	HealthProbe func(shard int) error
 }
 
-func (c Config) withDefaults(workers int) Config {
+func (c Config) withDefaults(workersPerShard int) Config {
 	if c.Group == "" {
 		c.Group = "serve"
 	}
@@ -287,8 +326,18 @@ func (c Config) withDefaults(workers int) Config {
 	if c.WavePeriod <= 0 {
 		c.WavePeriod = DefaultWavePeriod
 	}
+	if c.MinPeriod <= 0 {
+		c.MinPeriod = c.WavePeriod / minPeriodDiv
+	}
+	if c.MaxPeriod <= 0 {
+		c.MaxPeriod = maxPeriodMult * c.WavePeriod
+	}
 	if c.WaveBudget <= 0 {
-		c.WaveBudget = float64(workers) * float64(c.WavePeriod.Nanoseconds())
+		// The one default-budget derivation: per-shard workers × period,
+		// scaled by the shard count — the same per-shard arithmetic the
+		// per-wave rebuild uses (budgetPerShard × live shards), so solo and
+		// sharded defaults agree exactly.
+		c.WaveBudget = float64(workersPerShard) * float64(c.WavePeriod.Nanoseconds()) * float64(max(c.Shards, 1))
 	}
 	if c.TargetLoad <= 0 {
 		c.TargetLoad = DefaultTargetLoad
@@ -368,6 +417,14 @@ type WaveReport struct {
 	Budget float64
 	// Joules is the wave's modeled energy.
 	Joules float64
+	// WallTime is the wave's measured wall time (admission through
+	// taskwait), read through the WaveClock seam; it is the sample that
+	// feeds the MeasuredPeriod EWMA.
+	WallTime time.Duration
+	// Overrun marks a paced wave (PaceWave/Start) whose WallTime exceeded
+	// the cadence that fired it; such waves are counted in Totals.Overruns
+	// and the next wave starts immediately — never a dropped tick.
+	Overrun bool
 	// Stats is the underlying wave telemetry.
 	Stats sig.WaveStats
 }
@@ -388,6 +445,11 @@ type Totals struct {
 	// priority lane (whatever their outcome); they are also in Completed.
 	Priority int64
 	Waves    int64
+	// Overruns counts paced waves whose measured wall time exceeded the
+	// cadence that fired them. Each one ran to completion and the next
+	// wave followed immediately — the pacer counts overruns where a fixed
+	// Ticker would silently coalesce the late ticks.
+	Overruns int64
 	Joules   float64
 }
 
@@ -407,6 +469,21 @@ type Server struct {
 	fleet          *shard.Router
 	scaler         *shard.Autoscaler
 	budgetPerShard float64
+
+	// clock is the WaveClock seam (Config.Clock, or the wall clock);
+	// workersPerShard is the resolved per-shard worker pool that every
+	// budget derivation — the default, the fleet rebuild, the pacer's
+	// measured rebuild — shares.
+	clock           WaveClock
+	workersPerShard int
+
+	// measuredNs is the bounded EWMA of measured wave wall time behind
+	// MeasuredPeriod (0 until the first wave measures); paceNs is the
+	// pacer's current cadence; overruns counts paced waves that outran
+	// their cadence.
+	measuredNs atomic.Int64
+	paceNs     atomic.Int64
+	overruns   atomic.Int64
 
 	// waveMu serializes RunWave with itself and with Close's final drain,
 	// so shutdown can never tear the engine down under an in-flight wave
@@ -496,10 +573,7 @@ func New(cfg Config) (*Server, error) {
 	}
 	workers := cfg.Workers
 	if workers == 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
-	if cfg.Shards > 1 {
-		workers *= cfg.Shards // WaveBudget defaults scale with the fleet
+		workers = runtime.GOMAXPROCS(0) // per shard in sharded mode
 	}
 	cfg = cfg.withDefaults(workers)
 	if cfg.Policy == 0 {
@@ -508,8 +582,17 @@ func New(cfg Config) (*Server, error) {
 	if cfg.PriorityAt > 0 && (cfg.PrioritySlice < 1 || cfg.PrioritySlice >= cfg.QueueLimit) {
 		return nil, fmt.Errorf("serve: PrioritySlice %d outside [1,%d)", cfg.PrioritySlice, cfg.QueueLimit)
 	}
+	if cfg.MinPeriod > cfg.WavePeriod || cfg.MaxPeriod < cfg.WavePeriod {
+		return nil, fmt.Errorf("serve: pacer bounds [%v, %v] must bracket WavePeriod %v", cfg.MinPeriod, cfg.MaxPeriod, cfg.WavePeriod)
+	}
 
 	s := &Server{cfg: cfg, closeDone: make(chan struct{})}
+	s.workersPerShard = workers
+	s.clock = cfg.Clock
+	if s.clock == nil {
+		s.clock = wallClock{}
+	}
+	s.paceNs.Store(int64(cfg.WavePeriod))
 	s.budget = cfg.WaveBudget
 	s.budgetPerShard = cfg.WaveBudget / float64(max(cfg.Shards, 1))
 	s.bulkLimit = cfg.QueueLimit
@@ -625,7 +708,61 @@ func (s *Server) Totals() Totals {
 		TimedOut:  s.tot.timedout.Load(),
 		Priority:  s.tot.priority.Load(),
 		Waves:     s.wave.Load(),
+		Overruns:  s.overruns.Load(),
 		Joules:    math.Float64frombits(s.tot.joules.Load()),
+	}
+}
+
+// MeasuredPeriod returns the bounded EWMA of measured wave wall time — the
+// server's honest estimate of what one wave actually costs in real time —
+// or the configured WavePeriod before the first wave has measured.
+func (s *Server) MeasuredPeriod() time.Duration {
+	if m := s.measuredNs.Load(); m > 0 {
+		return time.Duration(m)
+	}
+	return s.cfg.WavePeriod
+}
+
+// PacePeriod returns the pacer's current cadence: the configured
+// WavePeriod until PaceWave (or Start's pump) retimes it toward the
+// measured EWMA within [MinPeriod, MaxPeriod].
+func (s *Server) PacePeriod() time.Duration { return time.Duration(s.paceNs.Load()) }
+
+// effectivePeriod is the honest wall-time price of one wave: the measured
+// EWMA, floored at the pacer's current cadence (the configured WavePeriod
+// until the pacer retimes) — a queued request can't be reached faster than
+// waves fire, and an overrunning wave takes as long as it measures.
+//
+//siglint:noalloc
+func (s *Server) effectivePeriod() time.Duration {
+	p := s.paceNs.Load()
+	if m := s.measuredNs.Load(); m > p {
+		p = m
+	}
+	return time.Duration(p)
+}
+
+// observePeriod folds one measured wave wall time into the EWMA behind
+// MeasuredPeriod (α = 1/periodAlphaInv: bounded memory, geometric
+// horizon). Samples are floored at 1ns so a measured wave is never
+// mistaken for the zero "no measurement yet" sentinel.
+func (s *Server) observePeriod(wall time.Duration) {
+	w := int64(wall)
+	if w < 1 {
+		w = 1
+	}
+	for {
+		old := s.measuredNs.Load()
+		next := w
+		if old != 0 {
+			next = old + (w-old)/periodAlphaInv
+		}
+		if next < 1 {
+			next = 1
+		}
+		if s.measuredNs.CompareAndSwap(old, next) {
+			return
+		}
 	}
 }
 
@@ -670,7 +807,7 @@ func (s *Server) Submit(req Request) (*Ticket, error) {
 	if req.CostAccurate > 0 && req.Degraded != nil && req.CostDegraded == 0 {
 		return nil, fmt.Errorf("serve: request declares CostAccurate but not the Degraded handler's cost") //siglint:allocok rejected-request path; the caller has a bug to fix
 	}
-	now := time.Now()
+	now := s.clock.Now() //siglint:allocok clock seam: one virtual read behind the WaveClock interface
 	if !req.Deadline.IsZero() && now.After(req.Deadline) {
 		// Already expired: reject before a ticket or queue slot is touched.
 		// The request is accounted (submitted, rejected, timed out) but
@@ -727,7 +864,12 @@ func (s *Server) Submit(req Request) (*Ticket, error) {
 				waves = 1
 			}
 		}
-		return nil, &OverloadError{RetryAfter: time.Duration(waves) * s.cfg.WavePeriod} //siglint:allocok shed-request path: the structured retry hint costs one error object
+		// Price the hint in measured-period units (effectivePeriod: the
+		// wall-time EWMA, floored at the cadence — the configured WavePeriod
+		// before the first measurement). Pricing waves at the configured
+		// period under an overrunning wave sent clients back into a
+		// still-full queue.
+		return nil, &OverloadError{RetryAfter: time.Duration(waves) * s.effectivePeriod()} //siglint:allocok shed-request path: the structured retry hint costs one error object
 	}
 	tk.enqWave.Store(s.wave.Load())
 	c := s.reqCosts(&req)
@@ -826,10 +968,11 @@ func (s *Server) measure(ws sig.WaveStats) float64 {
 // sits. The returned batch is the server's reused wavePending buffer
 // (valid until the next admit); lane remainders compact to the front of
 // their backing arrays, so steady-state waves neither grow nor churn them.
+// now is the wave's start-of-wave clock reading (RunWave takes it through
+// the WaveClock seam) — admit performs no clock reads of its own.
 //
 //siglint:noalloc
-func (s *Server) admit() []*pending {
-	now := time.Now()
+func (s *Server) admit(now time.Time) []*pending {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	ratio := s.eng.Ratio() //siglint:allocok engine boundary: Ratio is an atomic read behind the interface
@@ -914,7 +1057,8 @@ func (s *Server) RunWave() WaveReport {
 	if s.stopped {
 		return WaveReport{Wave: int(s.wave.Load()), Ratio: s.eng.Ratio(), NextRatio: s.eng.Ratio()}
 	}
-	batch := s.admit()
+	start := s.clock.Now()
+	batch := s.admit(start)
 	ratio := s.eng.Ratio()
 
 	rep := WaveReport{Wave: int(s.wave.Load()), Admitted: len(batch), Ratio: ratio}
@@ -927,8 +1071,14 @@ func (s *Server) RunWave() WaveReport {
 		s.flushSlabs()
 	}
 	ws := s.eng.WaitPhase() // admission controller observes here
+	end := s.clock.Now()
+	// The wave's measured wall time — admission through taskwait — is the
+	// sample behind MeasuredPeriod: the pacer's cadence target and the
+	// honest RetryAfter price.
+	rep.WallTime = end.Sub(start)
+	s.observePeriod(rep.WallTime)
 	wave := s.wave.Add(1) - 1
-	nowNs := time.Now().UnixNano()
+	nowNs := end.UnixNano()
 	// Resolve the deadline casualties admit skimmed: outcome, completion
 	// edge, ticket release — everything a served request gets, except a
 	// body run or a joule.
@@ -1014,7 +1164,68 @@ func (s *Server) RunWave() WaveReport {
 	return rep
 }
 
-// Start launches the wave pump: one RunWave every WavePeriod until Close.
+// PaceWave runs one wave under the pacer discipline Start's pump uses, and
+// is the deterministic way to drive that discipline explicitly (with a
+// FakeClock — harness.PaceStudy). After RunWave it: counts an overrun when
+// the wave's wall time exceeded the cadence that fired it (the wave ran and
+// the next one is due immediately — never a dropped tick), retimes the
+// cadence toward the measured EWMA within [MinPeriod, MaxPeriod] with
+// hysteresis, and re-derives the wave budget as effective measured period ×
+// live workers — under pacing, a configured WaveBudget degrades to an
+// initial guess that real measurements replace. It returns the wave report
+// and the delay until the next wave is due (zero after an overrun).
+func (s *Server) PaceWave() (WaveReport, time.Duration) {
+	rep := s.RunWave()
+	if rep.Overrun = rep.WallTime > time.Duration(s.paceNs.Load()); rep.Overrun {
+		s.overruns.Add(1)
+	}
+	cadence := s.retime()
+	if rep.LiveShards > 0 { // zero only after Close's teardown
+		// Measured capacity: what one wave can actually absorb is the wall
+		// time a wave occupies times the workers executing it, not the
+		// configured guess. (Cost units are ~1ns of work, so period
+		// nanoseconds × workers is directly a cost budget.)
+		s.mu.Lock()
+		s.budget = float64(s.workersPerShard*rep.LiveShards) * float64(s.effectivePeriod())
+		rep.Budget = s.budget
+		s.mu.Unlock()
+	}
+	delay := cadence - rep.WallTime
+	if delay < 0 {
+		delay = 0
+	}
+	return rep, delay
+}
+
+// retime moves the pacer cadence toward the measured EWMA, clamped into
+// [MinPeriod, MaxPeriod], with 1/paceHysteresisInv relative hysteresis so
+// measurement jitter doesn't wobble the timer. It returns the cadence in
+// force after the move.
+func (s *Server) retime() time.Duration {
+	cur := s.paceNs.Load()
+	target := s.measuredNs.Load()
+	if target == 0 {
+		return time.Duration(cur) // nothing measured yet
+	}
+	if lo := int64(s.cfg.MinPeriod); target < lo {
+		target = lo
+	}
+	if hi := int64(s.cfg.MaxPeriod); target > hi {
+		target = hi
+	}
+	if diff := target - cur; diff > cur/paceHysteresisInv || diff < -cur/paceHysteresisInv {
+		s.paceNs.Store(target)
+		cur = target
+	}
+	return time.Duration(cur)
+}
+
+// Start launches the wave pacer: a PaceWave whenever the cadence timer
+// fires, the cadence retimed wave by wave to the measured period. A wave
+// that overruns its cadence is followed immediately by the next one and
+// counted in Totals.Overruns — where the old fixed Ticker silently
+// coalesced the late ticks, making the wave count diverge from
+// elapsed/period with no signal.
 func (s *Server) Start() {
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -1025,14 +1236,15 @@ func (s *Server) Start() {
 	s.pumpDone = make(chan struct{})
 	go func(stop, done chan struct{}) {
 		defer close(done)
-		tick := time.NewTicker(s.cfg.WavePeriod)
-		defer tick.Stop()
+		timer := time.NewTimer(time.Duration(s.paceNs.Load()))
+		defer timer.Stop()
 		for {
 			select {
 			case <-stop:
 				return
-			case <-tick.C:
-				s.RunWave()
+			case <-timer.C:
+				_, delay := s.PaceWave()
+				timer.Reset(delay)
 			}
 		}
 	}(s.pumpStop, s.pumpDone)
